@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"panda"
+)
+
+func TestLoadInstance(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("R.csv", "1,2\n2,3\n# comment\n\n")
+	write("S.csv", "2,5\n")
+	res, err := panda.Parse(`Q(A,B,C) :- R(A,B), S(B,C).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := loadInstance(&res.Rule.Schema, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Relations[0].Size() != 2 || ins.Relations[1].Size() != 1 {
+		t.Fatalf("sizes %d, %d", ins.Relations[0].Size(), ins.Relations[1].Size())
+	}
+	out, _, err := panda.EvalFull(res.Conj, ins, res.Constraints, panda.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Size() != 1 || !out.Contains([]panda.Value{1, 2, 5}) {
+		t.Fatalf("eval: %v", out.SortedRows())
+	}
+}
+
+func TestLoadInstanceErrors(t *testing.T) {
+	dir := t.TempDir()
+	res, err := panda.Parse(`Q(A,B) :- R(A,B).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadInstance(&res.Rule.Schema, dir); err == nil {
+		t.Fatal("missing CSV accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "R.csv"), []byte("1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadInstance(&res.Rule.Schema, dir); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "R.csv"), []byte("1,x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadInstance(&res.Rule.Schema, dir); err == nil {
+		t.Fatal("non-integer accepted")
+	}
+}

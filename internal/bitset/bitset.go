@@ -1,0 +1,141 @@
+// Package bitset implements subsets of a small variable universe [n] as
+// bitmasks. Throughout the repository a variable set S ⊆ [n] (n ≤ 16) is a
+// Set whose bit i is 1 iff variable i ∈ S. The empty set is 0.
+package bitset
+
+import (
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// Set is a subset of [n] for n ≤ 16, encoded as a bitmask.
+type Set uint32
+
+// Of builds a Set from the listed variable indices.
+func Of(vars ...int) Set {
+	var s Set
+	for _, v := range vars {
+		s |= 1 << uint(v)
+	}
+	return s
+}
+
+// Full returns the full set [n] = {0, …, n−1}.
+func Full(n int) Set { return Set(1<<uint(n)) - 1 }
+
+// Singleton returns {v}.
+func Singleton(v int) Set { return 1 << uint(v) }
+
+// Card returns |s|.
+func (s Set) Card() int { return bits.OnesCount32(uint32(s)) }
+
+// Empty reports whether s = ∅.
+func (s Set) Empty() bool { return s == 0 }
+
+// Contains reports whether v ∈ s.
+func (s Set) Contains(v int) bool { return s&(1<<uint(v)) != 0 }
+
+// SubsetOf reports whether s ⊆ t.
+func (s Set) SubsetOf(t Set) bool { return s&^t == 0 }
+
+// ProperSubsetOf reports whether s ⊂ t.
+func (s Set) ProperSubsetOf(t Set) bool { return s != t && s.SubsetOf(t) }
+
+// Union returns s ∪ t.
+func (s Set) Union(t Set) Set { return s | t }
+
+// Intersect returns s ∩ t.
+func (s Set) Intersect(t Set) Set { return s & t }
+
+// Minus returns s \ t.
+func (s Set) Minus(t Set) Set { return s &^ t }
+
+// Add returns s ∪ {v}.
+func (s Set) Add(v int) Set { return s | 1<<uint(v) }
+
+// Remove returns s \ {v}.
+func (s Set) Remove(v int) Set { return s &^ (1 << uint(v)) }
+
+// Incomparable reports whether s ⊥ t, i.e. s ⊄ t and t ⊄ s and s ≠ t.
+// This is the paper's I ⊥ J relation (I ⊄ J and J ⊄ I).
+func (s Set) Incomparable(t Set) bool { return !s.SubsetOf(t) && !t.SubsetOf(s) }
+
+// Vars returns the elements of s in increasing order.
+func (s Set) Vars() []int {
+	out := make([]int, 0, s.Card())
+	for m := s; m != 0; {
+		v := bits.TrailingZeros32(uint32(m))
+		out = append(out, v)
+		m &= m - 1
+	}
+	return out
+}
+
+// Min returns the smallest element of s, or -1 if s is empty.
+func (s Set) Min() int {
+	if s == 0 {
+		return -1
+	}
+	return bits.TrailingZeros32(uint32(s))
+}
+
+// Subsets calls fn on every subset of s (including ∅ and s itself).
+// Enumeration is in increasing mask order restricted to s.
+func (s Set) Subsets(fn func(Set)) {
+	sub := Set(0)
+	for {
+		fn(sub)
+		if sub == s {
+			return
+		}
+		sub = (sub - s) & s
+	}
+}
+
+// String renders s using the default variable names A0, A1, ….
+func (s Set) String() string { return s.Label(nil) }
+
+// Label renders s using the given variable names (falling back to Ai).
+// The empty set renders as "∅".
+func (s Set) Label(names []string) string {
+	if s == 0 {
+		return "∅"
+	}
+	var parts []string
+	for _, v := range s.Vars() {
+		if v < len(names) {
+			parts = append(parts, names[v])
+		} else {
+			parts = append(parts, "A"+itoa(v))
+		}
+	}
+	return strings.Join(parts, "")
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// Sorted returns the sets sorted by (cardinality, mask value); useful for
+// deterministic iteration in tests and printed reports.
+func Sorted(sets []Set) []Set {
+	out := append([]Set(nil), sets...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Card() != out[j].Card() {
+			return out[i].Card() < out[j].Card()
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

@@ -1,0 +1,194 @@
+// Package bounds implements the output-size bounds of Sections 2–4: the
+// vertex bound (28), integral edge cover bound (29), AGM / fractional edge
+// cover bound (30), the subadditive-cone bound of Proposition 3.2, the
+// degree-aware polymatroid bound DAPB (39), and the Zhang–Yeung machinery
+// behind Theorem 1.3 / Lemma 4.5 (polymatroid vs entropic gap).
+//
+// All bounds are computed exactly over rationals, in log₂ units: a bound
+// value β means |Q| ≤ 2^β.
+package bounds
+
+import (
+	"fmt"
+	"math/big"
+
+	"panda/internal/bitset"
+	"panda/internal/flow"
+	"panda/internal/hypergraph"
+	"panda/internal/lp"
+)
+
+// VertexBound returns log VB(Q) = n·log N (Eq. 28).
+func VertexBound(n int, logN *big.Rat) *big.Rat {
+	return new(big.Rat).Mul(big.NewRat(int64(n), 1), logN)
+}
+
+// IntegralCoverBound returns ρ(Q, (N_F)) (Eq. 32): the cheapest integral
+// edge cover weighted by log N_F, computed by exact set-cover DP over
+// vertex subsets (edge multiplicities allowed; costs may differ per edge).
+func IntegralCoverBound(h *hypergraph.Hypergraph, logNs []*big.Rat) (*big.Rat, error) {
+	if len(logNs) != len(h.Edges) {
+		return nil, fmt.Errorf("bounds: %d edges but %d sizes", len(h.Edges), len(logNs))
+	}
+	full := bitset.Full(h.N)
+	size := int(full) + 1
+	dp := make([]*big.Rat, size)
+	dp[0] = new(big.Rat)
+	for s := bitset.Set(0); s <= full; s++ {
+		if dp[s] == nil {
+			continue
+		}
+		for j, e := range h.Edges {
+			t := s.Union(e)
+			c := new(big.Rat).Add(dp[s], logNs[j])
+			if dp[t] == nil || c.Cmp(dp[t]) < 0 {
+				dp[t] = c
+			}
+		}
+	}
+	if dp[full] == nil {
+		return nil, fmt.Errorf("bounds: edges do not cover all vertices")
+	}
+	return dp[full], nil
+}
+
+// AGM returns the AGM bound ρ*(Q, (N_F)) (Eq. 33): the fractional edge
+// cover LP with per-edge weights log N_F, solved exactly.
+func AGM(h *hypergraph.Hypergraph, logNs []*big.Rat) (*big.Rat, error) {
+	if len(logNs) != len(h.Edges) {
+		return nil, fmt.Errorf("bounds: %d edges but %d sizes", len(h.Edges), len(logNs))
+	}
+	prob := lp.NewProblem(len(h.Edges), false)
+	for j, w := range logNs {
+		prob.SetObj(j, w)
+	}
+	one := big.NewRat(1, 1)
+	for v := 0; v < h.N; v++ {
+		row := map[int]*big.Rat{}
+		for j, e := range h.Edges {
+			if e.Contains(v) {
+				row[j] = one
+			}
+		}
+		if len(row) == 0 {
+			return nil, fmt.Errorf("bounds: vertex %d uncovered", v)
+		}
+		prob.AddConstraint(row, lp.Ge, one)
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("bounds: AGM LP %v", sol.Status)
+	}
+	return sol.Objective, nil
+}
+
+// Polymatroid returns the degree-aware polymatroid bound DAPB(Q) of
+// Eq. (39): max{h([n]) | h ∈ Γn ∩ HDC}, solved exactly. For pure
+// cardinality constraints this equals the AGM bound (Proposition 3.2).
+func Polymatroid(n int, dcs []flow.DC) (*big.Rat, error) {
+	res, err := flow.MaximinBound(n, dcs, []bitset.Set{bitset.Full(n)})
+	if err != nil {
+		return nil, err
+	}
+	return res.Bound, nil
+}
+
+// Modular returns max{h([n]) | h ∈ Mn ∩ HCC} for cardinality constraints:
+// by LP duality this is again the AGM bound (proof of Prop 3.2 /
+// Lemma 3.1). Computed directly as an LP over vertex weights.
+func Modular(n int, dcs []flow.DC) (*big.Rat, error) {
+	prob := lp.NewProblem(n, true)
+	one := big.NewRat(1, 1)
+	for v := 0; v < n; v++ {
+		prob.SetObj(v, one)
+	}
+	covered := bitset.Set(0)
+	for _, dc := range dcs {
+		if dc.X != 0 {
+			return nil, fmt.Errorf("bounds: Modular needs cardinality constraints only")
+		}
+		row := map[int]*big.Rat{}
+		for _, v := range dc.Y.Vars() {
+			row[v] = one
+		}
+		covered = covered.Union(dc.Y)
+		prob.AddConstraint(row, lp.Le, dc.LogN)
+	}
+	if covered != bitset.Full(n) {
+		return nil, fmt.Errorf("bounds: constraints do not cover all variables")
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("bounds: modular LP %v", sol.Status)
+	}
+	return sol.Objective, nil
+}
+
+// Subadditive returns max{h([n]) | h ∈ SAn ∩ HCC}: the bound over the
+// subadditive cone, which Proposition 3.2 (Eq. 43) proves equal to the
+// integral edge cover bound. The LP uses all pairwise subadditivity rows
+// h(X∪Y) ≤ h(X) + h(Y) plus elemental monotonicity.
+func Subadditive(n int, dcs []flow.DC) (*big.Rat, error) {
+	full := bitset.Full(n)
+	nv := int(full) // variables h(Z), Z = 1..full (h(∅) = 0 implicit)
+	idx := func(z bitset.Set) int { return int(z) - 1 }
+	prob := lp.NewProblem(nv, true)
+	prob.SetObj(idx(full), big.NewRat(1, 1))
+	one := big.NewRat(1, 1)
+	negOne := big.NewRat(-1, 1)
+	// Subadditivity h(X∪Y) − h(X) − h(Y) ≤ 0 for incomparable X, Y.
+	for x := bitset.Set(1); x <= full; x++ {
+		for y := x + 1; y <= full; y++ {
+			if !x.Incomparable(y) {
+				continue
+			}
+			u := x.Union(y)
+			row := map[int]*big.Rat{}
+			add := func(z bitset.Set, c *big.Rat) {
+				if cur, ok := row[idx(z)]; ok {
+					cur.Add(cur, c)
+				} else {
+					row[idx(z)] = new(big.Rat).Set(c)
+				}
+			}
+			add(u, one)
+			add(x, negOne)
+			add(y, negOne)
+			prob.AddConstraint(row, lp.Le, new(big.Rat))
+		}
+	}
+	// Elemental monotonicity h(S) ≤ h(S ∪ {i}).
+	for s := bitset.Set(1); s <= full; s++ {
+		for i := 0; i < n; i++ {
+			if s.Contains(i) {
+				continue
+			}
+			row := map[int]*big.Rat{
+				idx(s):        new(big.Rat).Set(one),
+				idx(s.Add(i)): new(big.Rat).Set(negOne),
+			}
+			prob.AddConstraint(row, lp.Le, new(big.Rat))
+		}
+	}
+	for _, dc := range dcs {
+		if dc.X != 0 {
+			return nil, fmt.Errorf("bounds: Subadditive needs cardinality constraints only")
+		}
+		row := map[int]*big.Rat{idx(dc.Y): new(big.Rat).Set(one)}
+		prob.AddConstraint(row, lp.Le, dc.LogN)
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("bounds: subadditive LP %v (constraints must cover all variables)", sol.Status)
+	}
+	return sol.Objective, nil
+}

@@ -1,0 +1,288 @@
+package bounds
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"panda/internal/bitset"
+	"panda/internal/flow"
+	"panda/internal/hypergraph"
+	"panda/internal/setfunc"
+)
+
+func rat(a, b int64) *big.Rat { return big.NewRat(a, b) }
+
+func fourCycle() *hypergraph.Hypergraph {
+	return hypergraph.New(4,
+		bitset.Of(0, 1), bitset.Of(1, 2), bitset.Of(2, 3), bitset.Of(3, 0))
+}
+
+func triangle() *hypergraph.Hypergraph {
+	return hypergraph.New(3, bitset.Of(0, 1), bitset.Of(1, 2), bitset.Of(0, 2))
+}
+
+func unitLogs(h *hypergraph.Hypergraph) []*big.Rat {
+	out := make([]*big.Rat, len(h.Edges))
+	for i := range out {
+		out[i] = rat(1, 1)
+	}
+	return out
+}
+
+func ccDCs(h *hypergraph.Hypergraph) []flow.DC {
+	var out []flow.DC
+	for _, e := range h.Edges {
+		out = append(out, flow.DC{X: 0, Y: e, LogN: rat(1, 1)})
+	}
+	return out
+}
+
+func TestVertexBound(t *testing.T) {
+	if VertexBound(4, rat(1, 1)).Cmp(rat(4, 1)) != 0 {
+		t.Fatal("VB(4, logN=1) should be 4")
+	}
+}
+
+func TestAGMTriangle(t *testing.T) {
+	got, err := AGM(triangle(), unitLogs(triangle()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(rat(3, 2)) != 0 {
+		t.Fatalf("AGM(triangle) = %v, want 3/2", got)
+	}
+}
+
+func TestAGMFourCycle(t *testing.T) {
+	got, err := AGM(fourCycle(), unitLogs(fourCycle()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("AGM(C4) = %v, want 2 (Example 1.2(a))", got)
+	}
+}
+
+func TestIntegralCoverBound(t *testing.T) {
+	got, err := IntegralCoverBound(triangle(), unitLogs(triangle()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("ρ(triangle) = %v, want 2", got)
+	}
+	// Weighted: make one edge cheap.
+	logs := []*big.Rat{rat(1, 10), rat(1, 1), rat(1, 1)}
+	got, err = IntegralCoverBound(triangle(), logs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(rat(11, 10)) != 0 {
+		t.Fatalf("weighted ρ = %v, want 11/10", got)
+	}
+	if _, err := IntegralCoverBound(hypergraph.New(2, bitset.Of(0)), []*big.Rat{rat(1, 1)}); err == nil {
+		t.Fatal("uncoverable accepted")
+	}
+}
+
+// TestProposition32 verifies the bound collapses of Proposition 3.2 on
+// random hypergraphs with random cardinality constraints:
+//
+//	Modular = Polymatroid = AGM (Eq. 45)  and  Subadditive = ρ (Eq. 43).
+func TestProposition32(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 12; trial++ {
+		n := 3 + rng.Intn(2)
+		var edges []bitset.Set
+		var logs []*big.Rat
+		for v := 0; v < n; v++ { // spanning edges
+			edges = append(edges, bitset.Of(v, (v+1)%n))
+			logs = append(logs, rat(int64(1+rng.Intn(3)), 1))
+		}
+		for k := 0; k < rng.Intn(3); k++ {
+			var e bitset.Set
+			for v := 0; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					e = e.Add(v)
+				}
+			}
+			if e.Card() >= 2 {
+				edges = append(edges, e)
+				logs = append(logs, rat(int64(1+rng.Intn(3)), 1))
+			}
+		}
+		h := hypergraph.New(n, edges...)
+		var dcs []flow.DC
+		for i, e := range edges {
+			dcs = append(dcs, flow.DC{X: 0, Y: e, LogN: logs[i]})
+		}
+		agm, err := AGM(h, logs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		poly, err := Polymatroid(n, dcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := Modular(n, dcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agm.Cmp(poly) != 0 || agm.Cmp(mod) != 0 {
+			t.Fatalf("trial %d: AGM=%v poly=%v modular=%v — Prop 3.2 (45) fails", trial, agm, poly, mod)
+		}
+		sa, err := Subadditive(n, dcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rho, err := IntegralCoverBound(h, logs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sa.Cmp(rho) != 0 {
+			t.Fatalf("trial %d: SA bound %v ≠ integral cover %v — Prop 3.2 (43) fails", trial, sa, rho)
+		}
+		if agm.Cmp(sa) > 0 {
+			t.Fatalf("trial %d: AGM %v > SA %v", trial, agm, sa)
+		}
+	}
+}
+
+// TestModularization is Lemma 3.1: max h(B) over Γn∩HCC equals the modular
+// maximum for arbitrary B, checked by restricting the modular LP to B.
+func TestModularization(t *testing.T) {
+	h := fourCycle()
+	dcs := ccDCs(h)
+	for _, b := range []bitset.Set{bitset.Of(0, 1, 2), bitset.Of(0, 2), bitset.Full(4)} {
+		r, err := flow.MaximinBound(4, dcs, []bitset.Set{b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Modular maximum restricted to B: LP over vertex weights.
+		obj := map[bitset.Set]*big.Rat{b: rat(1, 1)}
+		lin, _, err := flow.LinearBound(4, dcs, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Bound.Cmp(lin) != 0 {
+			t.Fatalf("B=%v: maximin %v ≠ linear %v", b, r.Bound, lin)
+		}
+	}
+}
+
+// TestZhangYeungGap is Theorem 1.3: polymatroid bound 4 vs entropic 43/11.
+func TestZhangYeungGap(t *testing.T) {
+	poly, ent, err := Theorem13Gap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poly.Cmp(rat(4, 1)) != 0 {
+		t.Fatalf("polymatroid bound = %v, want 4", poly)
+	}
+	if ent.Cmp(rat(43, 11)) != 0 {
+		t.Fatalf("entropic bound = %v, want 43/11", ent)
+	}
+	if poly.Cmp(ent) <= 0 {
+		t.Fatal("no gap: Theorem 1.3 fails")
+	}
+	// The Figure 5 polymatroid certifies the polymatroid bound is attained.
+	h5 := setfunc.Figure5()
+	n, dcs := ZhangYeungQuery()
+	for _, dc := range dcs {
+		if h5.Cond(dc.Y, dc.X).Cmp(dc.LogN) > 0 {
+			t.Fatalf("Figure 5 violates constraint (%v,%v)", dc.X, dc.Y)
+		}
+	}
+	if h5.At(bitset.Full(n)).Cmp(poly) != 0 {
+		t.Fatalf("Figure 5 achieves %v, LP says %v", h5.At(bitset.Full(n)), poly)
+	}
+}
+
+// TestZY51NotShannon: the ZY functional itself must NOT be entailed by
+// Shannon inequalities alone (it is non-Shannon), but must be entailed
+// given itself as an axiom.
+func TestZY51NotShannon(t *testing.T) {
+	f := ZY51(0, 1, 2, 3)
+	ok, err := ShannonEntailed(4, f, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("ZY51 claimed to be a Shannon-type inequality")
+	}
+	ok, err = ShannonEntailed(4, f, []Functional{ZY51(0, 1, 2, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("ZY51 not entailed by itself")
+	}
+}
+
+// TestLemma45 verifies both halves of Lemma 4.5.
+func TestLemma45(t *testing.T) {
+	// 5-variable rule: polymatroid bound exactly 4 > 43/11.
+	n, dcs, targets := Lemma45Rule5()
+	res, err := flow.MaximinBound(n, dcs, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bound.Cmp(rat(4, 1)) != 0 {
+		t.Fatalf("5-var disjunctive polymatroid bound = %v, want 4", res.Bound)
+	}
+	// Entropic side: (59) entailed by ZY51 + Shannon.
+	ok, err := ShannonEntailed(5, ZY59(0, 1, 2, 3, 4), []Functional{ZY51(0, 1, 2, 3)})
+	if err != nil || !ok {
+		t.Fatalf("ZY59 entailment: ok=%v err=%v", ok, err)
+	}
+	// 8-variable rule with identical cardinalities: the Figure 6
+	// polymatroid certifies bound ≥ 4 while (64) gives entropic ≤ 330/85.
+	if err := Verify64Identity(); err != nil {
+		t.Fatal(err)
+	}
+	n8, dcs8, targets8 := Lemma45Rule8()
+	h6 := setfunc.Figure6()
+	for _, dc := range dcs8 {
+		if h6.Cond(dc.Y, dc.X).Cmp(dc.LogN) > 0 {
+			t.Fatalf("Figure 6 violates constraint on %v", dc.Y)
+		}
+	}
+	minT := new(big.Rat)
+	for i, b := range targets8 {
+		v := h6.At(b)
+		if i == 0 || v.Cmp(minT) < 0 {
+			minT = v
+		}
+	}
+	if minT.Cmp(rat(4, 1)) != 0 {
+		t.Fatalf("Figure 6 min target = %v, want 4", minT)
+	}
+	ent := rat(330, 85)
+	if minT.Cmp(ent) <= 0 {
+		t.Fatal("no gap in the identical-cardinality case")
+	}
+	_ = n8
+}
+
+// TestSubadditiveVsAGM: SA relaxation can only be larger.
+func TestSubadditiveVsAGM(t *testing.T) {
+	h := triangle()
+	dcs := ccDCs(h)
+	sa, err := Subadditive(3, dcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agm, err := AGM(h, unitLogs(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa.Cmp(agm) < 0 {
+		t.Fatalf("SA %v < AGM %v", sa, agm)
+	}
+	// Triangle: SA bound = ρ = 2 > AGM = 3/2 — the strict gap of the
+	// hierarchy.
+	if sa.Cmp(rat(2, 1)) != 0 {
+		t.Fatalf("SA(triangle) = %v, want 2", sa)
+	}
+}

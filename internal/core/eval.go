@@ -1,0 +1,380 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"panda/internal/bitset"
+	"panda/internal/flow"
+	"panda/internal/hypergraph"
+	"panda/internal/query"
+	"panda/internal/relation"
+	"panda/internal/yannakakis"
+)
+
+// toFlowDCs converts query constraints into the flow package's form,
+// validating shapes and attaching guards.
+func toFlowDCs(s *query.Schema, dcs []query.DegreeConstraint) ([]flow.DC, error) {
+	out := make([]flow.DC, len(dcs))
+	for i, c := range dcs {
+		if err := c.Validate(s.NumVars); err != nil {
+			return nil, err
+		}
+		out[i] = flow.DC{X: c.X, Y: c.Y, LogN: c.LogN}
+	}
+	return out, nil
+}
+
+// withAtomCardinalities appends (∅, F, |R_F|) for every atom whose exact
+// cardinality constraint is missing — these are always true of the instance
+// and can only tighten the bound.
+func withAtomCardinalities(s *query.Schema, ins *query.Instance, dcs []query.DegreeConstraint) []query.DegreeConstraint {
+	have := map[bitset.Set]bool{}
+	for _, c := range dcs {
+		if c.IsCardinality() {
+			have[c.Y] = true
+		}
+	}
+	out := append([]query.DegreeConstraint(nil), dcs...)
+	for i, a := range s.Atoms {
+		if !have[a.Vars] {
+			out = append(out, query.Cardinality(a.Vars, int64(ins.Relations[i].Size()), i))
+		}
+	}
+	return out
+}
+
+// unitRelation returns the nullary relation {()}.
+func unitRelation() *relation.Relation {
+	r := relation.New("T∅", 0)
+	r.Insert([]relation.Value{})
+	return r
+}
+
+// EvalDisjunctive runs PANDA (Algorithm 1) on a disjunctive datalog rule:
+// it solves the polymatroid bound LP (Lemma 5.2), extracts a witness
+// (Proposition 5.4), constructs a proof sequence (Theorem 5.9), and
+// interprets it over the instance. The returned tables form a model of the
+// rule whose per-table sizes are governed by the bound (Theorem 1.7).
+//
+// Every constraint must be guarded by an atom; callers who only know
+// relation sizes can pass nil dcs (atom cardinalities are always added).
+func EvalDisjunctive(p *query.Disjunctive, ins *query.Instance, dcs []query.DegreeConstraint, opt Options) (*Result, error) {
+	if len(p.Targets) == 0 {
+		return nil, fmt.Errorf("core: rule has no targets")
+	}
+	if len(ins.Relations) != len(p.Atoms) {
+		return nil, fmt.Errorf("core: instance has %d relations for %d atoms", len(ins.Relations), len(p.Atoms))
+	}
+	stats := newStats()
+	// A target ∅ admits the trivial minimal model {()} (Section 1.3).
+	for _, b := range p.Targets {
+		if b == 0 {
+			return &Result{
+				Tables: map[bitset.Set]*relation.Relation{0: unitRelation()},
+				Bound:  new(big.Rat),
+				Stats:  stats,
+			}, nil
+		}
+	}
+	dcs = withAtomCardinalities(&p.Schema, ins, dcs)
+	for _, c := range dcs {
+		if c.Guard < 0 || c.Guard >= len(ins.Relations) {
+			return nil, fmt.Errorf("core: constraint on %v lacks a guard atom", c.Y)
+		}
+		if !c.Y.SubsetOf(p.Atoms[c.Guard].Vars) {
+			return nil, fmt.Errorf("core: atom %s cannot guard constraint on %v",
+				p.Atoms[c.Guard].Name, c.Y)
+		}
+	}
+	fdcs, err := toFlowDCs(&p.Schema, dcs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := flow.MaximinBound(p.NumVars, fdcs, p.Targets)
+	if err != nil {
+		return nil, err
+	}
+	seq, err := flow.ConstructProof(res.Lambda, res.Delta, res.Witness)
+	if err != nil {
+		return nil, err
+	}
+	e := &engine{
+		n:       p.NumVars,
+		targets: dedupeSets(p.Targets),
+		objLog:  res.Bound,
+		opt:     opt,
+		stats:   stats,
+		schema:  &p.Schema,
+	}
+	e.objFloat, _ = res.Bound.Float64()
+	// Initial frame: constraints with their guards; supports for the δ
+	// coordinates pick the smallest bound among matching constraints.
+	f := &frame{
+		cons:    make([]rtCon, len(dcs)),
+		support: map[flow.Pair]int{},
+		lambda:  res.Lambda.Clone(),
+		delta:   res.Delta.Clone(),
+		seq:     seq,
+	}
+	for i, c := range dcs {
+		f.cons[i] = rtCon{x: c.X, y: c.Y, logN: c.LogN, guard: ins.Relations[c.Guard]}
+		f.cons[i].nFloat, _ = c.LogN.Float64()
+	}
+	for p0 := range f.delta {
+		for i, c := range f.cons {
+			if c.x == p0.X && c.y == p0.Y {
+				f.setSupport(p0, i, f.cons)
+			}
+		}
+		if _, ok := f.support[p0]; !ok {
+			return nil, fmt.Errorf("core: initial δ%v has no matching constraint", p0)
+		}
+	}
+	tables, err := e.run(f)
+	if err != nil {
+		return nil, err
+	}
+	// Present every target, empty when no subproblem delivered it.
+	for _, b := range e.targets {
+		if _, ok := tables[b]; !ok {
+			tables[b] = relation.New(fmt.Sprintf("T_%s", p.VarLabel(b)), b)
+		}
+	}
+	return &Result{Tables: tables, Bound: res.Bound, Stats: stats}, nil
+}
+
+func dedupeSets(in []bitset.Set) []bitset.Set {
+	seen := map[bitset.Set]bool{}
+	var out []bitset.Set
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// EvalFull answers a full conjunctive query exactly (Corollary 7.10):
+// PANDA with the single target [n], then a semijoin reduction with every
+// input relation removes spurious tuples.
+func EvalFull(q *query.Conjunctive, ins *query.Instance, dcs []query.DegreeConstraint, opt Options) (*relation.Relation, *Result, error) {
+	if !q.IsFull() {
+		return nil, nil, fmt.Errorf("core: EvalFull needs a full query")
+	}
+	res, err := EvalDisjunctive(q.AsRule(), ins, dcs, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	t := res.Tables[bitset.Full(q.NumVars)]
+	for _, r := range ins.Relations {
+		t = t.Semijoin(r)
+	}
+	return t, res, nil
+}
+
+// widthPlan holds the shared tree-decomposition machinery of the
+// Corollary 7.11 / 7.13 evaluators.
+type widthPlan struct {
+	tds      []*hypergraph.Decomposition
+	bags     []bitset.Set       // distinct bag universe
+	bagIdx   map[bitset.Set]int // bag → index in bags
+	tdBags   [][]int            // per decomposition: indices into bags
+	universe []bitset.Set       // alias of bags (transversal universe)
+}
+
+func newWidthPlan(q *query.Conjunctive) (*widthPlan, error) {
+	h := q.Hypergraph()
+	if !h.CoversAll() {
+		return nil, fmt.Errorf("core: query body does not cover all variables")
+	}
+	tds, err := h.AllDecompositions()
+	if err != nil {
+		return nil, err
+	}
+	pl := &widthPlan{tds: tds, bagIdx: map[bitset.Set]int{}}
+	for _, d := range tds {
+		var idxs []int
+		for _, b := range d.Bags {
+			i, ok := pl.bagIdx[b]
+			if !ok {
+				i = len(pl.bags)
+				pl.bagIdx[b] = i
+				pl.bags = append(pl.bags, b)
+			}
+			idxs = append(idxs, i)
+		}
+		pl.tdBags = append(pl.tdBags, idxs)
+	}
+	pl.universe = pl.bags
+	return pl, nil
+}
+
+// reduceWithInputs semijoins t with every input relation sharing attributes.
+func reduceWithInputs(t *relation.Relation, ins *query.Instance) *relation.Relation {
+	for _, r := range ins.Relations {
+		if t.Attrs().Intersect(r.Attrs()) != 0 {
+			t = t.Semijoin(r)
+		} else if r.Size() == 0 {
+			return relation.New(t.Name, t.Attrs()) // empty input empties Q
+		}
+	}
+	return t
+}
+
+// EvalFhtw evaluates a full or Boolean conjunctive query with the
+// degree-aware fractional-hypertree-width plan of Corollary 7.11: pick the
+// tree decomposition minimizing the worst per-bag polymatroid bound, run
+// PANDA once per bag, semijoin-reduce, then Yannakakis.
+// For Boolean queries the returned relation is nil and the bool is the
+// answer; for full queries the relation is the exact output.
+func EvalFhtw(q *query.Conjunctive, ins *query.Instance, dcs []query.DegreeConstraint, opt Options) (*relation.Relation, bool, *Stats, error) {
+	pl, err := newWidthPlan(q)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	alldcs := withAtomCardinalities(&q.Schema, ins, dcs)
+	fdcs, err := toFlowDCs(&q.Schema, alldcs)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	// Choose the decomposition with the smallest worst-bag bound.
+	bagBound := make([]*big.Rat, len(pl.bags))
+	for i, b := range pl.bags {
+		r, err := flow.MaximinBound(q.NumVars, fdcs, []bitset.Set{b})
+		if err != nil {
+			return nil, false, nil, err
+		}
+		bagBound[i] = r.Bound
+	}
+	best, bestVal := -1, new(big.Rat)
+	for ti := range pl.tds {
+		worst := new(big.Rat)
+		for _, bi := range pl.tdBags[ti] {
+			if bagBound[bi].Cmp(worst) > 0 {
+				worst = bagBound[bi]
+			}
+		}
+		if best == -1 || worst.Cmp(bestVal) < 0 {
+			best, bestVal = ti, worst
+		}
+	}
+	td := pl.tds[best]
+	stats := newStats()
+	rels := make([]*relation.Relation, len(td.Bags))
+	for i, b := range td.Bags {
+		rule := &query.Disjunctive{Schema: q.Schema, Targets: []bitset.Set{b}}
+		res, err := EvalDisjunctive(rule, ins, dcs, opt)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		accumulate(stats, res.Stats)
+		rels[i] = reduceWithInputs(res.Tables[b], ins)
+	}
+	if q.IsBoolean() {
+		ok, err := yannakakis.NonEmpty(rels, td.Parent)
+		return nil, ok, stats, err
+	}
+	out, err := yannakakis.Join(rels, td.Parent)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	return out, out.Size() > 0, stats, nil
+}
+
+// EvalSubw evaluates a full or Boolean conjunctive query at the
+// degree-aware submodular width (Theorem 1.9 / Corollary 7.13): one
+// disjunctive datalog rule per inclusion-minimal bag transversal
+// (Lemma 7.12), per-bag tables unioned across rules, semijoin-reduced, and
+// every tree decomposition whose bags are all available is evaluated with
+// Yannakakis; the union of the per-tree results is exactly Q.
+func EvalSubw(q *query.Conjunctive, ins *query.Instance, dcs []query.DegreeConstraint, opt Options) (*relation.Relation, bool, *Stats, error) {
+	pl, err := newWidthPlan(q)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	transversals, err := hypergraph.MinimalTransversals(pl.universe, pl.tdBags)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	stats := newStats()
+	tables := map[bitset.Set]*relation.Relation{}
+	for _, tr := range transversals {
+		targets := make([]bitset.Set, len(tr))
+		for i, bi := range tr {
+			targets[i] = pl.bags[bi]
+		}
+		rule := &query.Disjunctive{Schema: q.Schema, Targets: targets}
+		res, err := EvalDisjunctive(rule, ins, dcs, opt)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		accumulate(stats, res.Stats)
+		mergeTables(tables, res.Tables)
+	}
+	// Semijoin-reduce every bag table with the inputs.
+	for b, t := range tables {
+		tables[b] = reduceWithInputs(t, ins)
+	}
+	// Evaluate every decomposition whose bags all have tables; union.
+	var out *relation.Relation
+	answer := false
+	evaluated := 0
+	for ti, td := range pl.tds {
+		rels := make([]*relation.Relation, len(td.Bags))
+		ok := true
+		for i, bi := range pl.tdBags[ti] {
+			t, have := tables[pl.bags[bi]]
+			if !have {
+				ok = false
+				break
+			}
+			rels[i] = t
+		}
+		if !ok {
+			continue
+		}
+		evaluated++
+		if q.IsBoolean() {
+			ne, err := yannakakis.NonEmpty(rels, td.Parent)
+			if err != nil {
+				return nil, false, nil, err
+			}
+			answer = answer || ne
+			continue
+		}
+		j, err := yannakakis.Join(rels, td.Parent)
+		if err != nil {
+			return nil, false, nil, err
+		}
+		if out == nil {
+			out = j
+		} else {
+			out = out.Union(j)
+		}
+	}
+	if evaluated == 0 {
+		return nil, false, nil, fmt.Errorf("core: no tree decomposition fully covered by transversal bags")
+	}
+	if q.IsBoolean() {
+		return nil, answer, stats, nil
+	}
+	return out, out.Size() > 0, stats, nil
+}
+
+func accumulate(dst, src *Stats) {
+	for k, v := range src.StepsByKind {
+		dst.StepsByKind[k] += v
+	}
+	dst.Joins += src.Joins
+	dst.Projections += src.Projections
+	dst.Partitions += src.Partitions
+	dst.Subproblems += src.Subproblems
+	dst.Restarts += src.Restarts
+	dst.BaseCases += src.BaseCases
+	if src.MaxIntermediate > dst.MaxIntermediate {
+		dst.MaxIntermediate = src.MaxIntermediate
+	}
+	dst.Trace = append(dst.Trace, src.Trace...)
+}

@@ -1,0 +1,481 @@
+// Package core implements PANDA (Proof-Assisted eNtropic Degree-Aware), the
+// paper's Algorithm 1: a proof sequence for a Shannon flow inequality is
+// interpreted step by step as relational operations — submodularity is pure
+// bookkeeping, monotonicity is a projection, decomposition is a heavy/light
+// degree partition spawning subproblems (Lemma 6.1), and composition is a
+// join, guarded by the 2^OBJ budget with Case-4b restarts via inequality
+// truncation (Lemma 5.11). The wrappers in eval.go lift PANDA to full and
+// Boolean conjunctive queries at the degree-aware fractional-hypertree and
+// submodular widths (Corollaries 7.10, 7.11, 7.13 / Theorem 1.9).
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"panda/internal/bitset"
+	"panda/internal/flow"
+	"panda/internal/query"
+	"panda/internal/relation"
+)
+
+// Stats reports what a PANDA run did; used by the experiment harness to
+// regenerate Figure 1 and to validate Theorem 1.7's accounting.
+type Stats struct {
+	StepsByKind     map[string]int
+	Joins           int
+	Projections     int
+	Partitions      int
+	Subproblems     int
+	Restarts        int
+	BaseCases       int
+	MaxIntermediate int
+	Trace           []string
+}
+
+func newStats() *Stats { return &Stats{StepsByKind: map[string]int{}} }
+
+// Options tunes a PANDA run.
+type Options struct {
+	// Trace records one line per relational operation in Stats.Trace.
+	Trace bool
+	// CheckInvariants validates the degree-support invariant and the
+	// potential inequality (85) before every step (used by tests; exact
+	// rational arithmetic).
+	CheckInvariants bool
+	// DisableBudget is an ablation switch: Case 4 compositions always
+	// join (Case 4b never fires). Outputs remain correct models, but the
+	// Theorem 1.7 runtime guarantee is forfeited — on adversarial inputs
+	// intermediates blow up to the fhtw regime. Used by the ablation
+	// benchmarks.
+	DisableBudget bool
+}
+
+// Result is the outcome of a disjunctive-rule evaluation.
+type Result struct {
+	// Tables maps every target B to a computed table T_B; their union over
+	// targets is a model of the rule.
+	Tables map[bitset.Set]*relation.Relation
+	// Bound is the exact polymatroid bound LogSizeBound_{Γn∩HDC}(P) in
+	// log₂ units.
+	Bound *big.Rat
+	Stats *Stats
+}
+
+// rtCon is a runtime degree constraint (Z, W, N_{W|Z}) with its guard.
+type rtCon struct {
+	x, y   bitset.Set
+	logN   *big.Rat
+	nFloat float64
+	guard  *relation.Relation
+}
+
+type engine struct {
+	n        int
+	targets  []bitset.Set
+	objLog   *big.Rat
+	objFloat float64
+	opt      Options
+	stats    *Stats
+	schema   *query.Schema
+	restarts int
+}
+
+// frame is the state of one subproblem.
+type frame struct {
+	cons    []rtCon
+	support map[flow.Pair]int // positive δ coordinate → supporting constraint
+	lambda  flow.Vec
+	delta   flow.Vec
+	seq     flow.ProofSequence
+}
+
+const budgetSlack = 1e-6
+
+func (e *engine) tracef(format string, args ...interface{}) {
+	if e.opt.Trace {
+		e.stats.Trace = append(e.stats.Trace, fmt.Sprintf(format, args...))
+	}
+}
+
+func (e *engine) note(r *relation.Relation) *relation.Relation {
+	if r.Size() > e.stats.MaxIntermediate {
+		e.stats.MaxIntermediate = r.Size()
+	}
+	return r
+}
+
+func (e *engine) label(s bitset.Set) string {
+	if e.schema != nil {
+		return e.schema.VarLabel(s)
+	}
+	return s.String()
+}
+
+// setSupport records con as support for pair p if it is better (smaller
+// bound) than the current one.
+func (f *frame) setSupport(p flow.Pair, con int, cons []rtCon) {
+	if cur, ok := f.support[p]; ok && cons[cur].logN.Cmp(cons[con].logN) <= 0 {
+		return
+	}
+	f.support[p] = con
+}
+
+func (f *frame) dropIfZero(p flow.Pair) {
+	if f.delta.Get(p).Sign() == 0 {
+		delete(f.support, p)
+	}
+}
+
+// checkInvariants verifies the degree-support invariant (Fig. 8) and the
+// potential inequality (85) exactly.
+func (e *engine) checkInvariants(f *frame) error {
+	potential := new(big.Rat)
+	for p, v := range f.delta {
+		if v.Sign() <= 0 {
+			continue
+		}
+		ci, ok := f.support[p]
+		if !ok {
+			return fmt.Errorf("core: positive δ%v has no support", p)
+		}
+		c := f.cons[ci]
+		if !c.x.SubsetOf(p.X) || !c.y.SubsetOf(p.Y) || c.y.Minus(c.x) != p.Y.Minus(p.X) {
+			return fmt.Errorf("core: support (%v,%v) malformed for %v", c.x, c.y, p)
+		}
+		if c.guard == nil || !c.y.SubsetOf(c.guard.Attrs()) {
+			return fmt.Errorf("core: support for %v has no usable guard", p)
+		}
+		potential.Add(potential, new(big.Rat).Mul(v, c.logN))
+	}
+	budget := new(big.Rat).Mul(f.lambda.L1(), e.objLog)
+	if potential.Cmp(budget) > 0 {
+		// Allow the slack introduced by dyadic log rounding.
+		diff, _ := new(big.Rat).Sub(potential, budget).Float64()
+		if diff > budgetSlack {
+			return fmt.Errorf("core: potential %v exceeds ‖λ‖·OBJ = %v", potential, budget)
+		}
+	}
+	if l1 := f.lambda.L1(); l1.Sign() <= 0 || l1.Cmp(big.NewRat(1, 1)) > 0 {
+		return fmt.Errorf("core: invariant (84) violated: ‖λ‖ = %v", l1)
+	}
+	return nil
+}
+
+// run executes the proof sequence on the given frame, returning tables per
+// target whose union (across sibling subproblems) models the rule.
+func (e *engine) run(f *frame) (map[bitset.Set]*relation.Relation, error) {
+	for {
+		if e.opt.CheckInvariants {
+			if err := e.checkInvariants(f); err != nil {
+				return nil, err
+			}
+		}
+		// Base case (Algorithm 1, line 1): a relation whose schema is
+		// exactly a target.
+		for _, b := range e.targets {
+			for _, c := range f.cons {
+				if c.guard != nil && c.guard.Attrs() == b {
+					e.stats.BaseCases++
+					e.tracef("base: return %s as T_%s", c.guard.Name, e.label(b))
+					return map[bitset.Set]*relation.Relation{b: c.guard}, nil
+				}
+			}
+		}
+		if len(f.seq) == 0 {
+			return e.finish(f)
+		}
+		step := f.seq[0]
+		f.seq = f.seq[1:]
+		e.stats.StepsByKind[step.Kind.String()]++
+		switch step.Kind {
+		case flow.Submodularity:
+			if err := e.stepSubmodularity(f, step); err != nil {
+				return nil, err
+			}
+		case flow.Monotonicity:
+			if err := e.stepMonotonicity(f, step); err != nil {
+				return nil, err
+			}
+		case flow.Decomposition:
+			return e.stepDecomposition(f, step)
+		case flow.Composition:
+			done, out, err := e.stepComposition(f, step)
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				return out, nil
+			}
+		}
+	}
+}
+
+// finish handles an exhausted proof sequence: by Definition 5.7(4),
+// δ_ℓ ≥ λ, so every target with λ_B > 0 holds a supported marginal whose
+// guard projects onto the target.
+func (e *engine) finish(f *frame) (map[bitset.Set]*relation.Relation, error) {
+	for _, b := range e.targets {
+		if f.lambda.Get(flow.Marginal(b)).Sign() <= 0 {
+			continue
+		}
+		ci, ok := f.support[flow.Marginal(b)]
+		if !ok {
+			continue
+		}
+		g := f.cons[ci].guard
+		t := e.note(g.Project(b))
+		e.stats.BaseCases++
+		e.tracef("finish: return Π_%s(%s) as T_%s", e.label(b), g.Name, e.label(b))
+		return map[bitset.Set]*relation.Relation{b: t}, nil
+	}
+	return nil, fmt.Errorf("core: proof sequence exhausted with no deliverable target (λ = %v, δ = %v)",
+		f.lambda, f.delta)
+}
+
+// stepSubmodularity (Case 1): pure bookkeeping — the relation associated
+// with h(I|I∩J) becomes associated with h(I∪J|J); same supporting guard.
+func (e *engine) stepSubmodularity(f *frame, step flow.Step) error {
+	i, j := step.A, step.B
+	src := flow.Pair{X: i.Intersect(j), Y: i}
+	ci, ok := f.support[src]
+	if !ok {
+		return fmt.Errorf("core: submodularity step %v lacks support for %v", step, src)
+	}
+	if err := step.Apply(f.delta); err != nil {
+		return err
+	}
+	tgt := flow.Pair{X: j, Y: i.Union(j)}
+	f.setSupport(tgt, ci, f.cons)
+	f.dropIfZero(src)
+	e.tracef("submodularity: %v → %v (guard %s)", src, tgt, f.cons[ci].guard.Name)
+	return nil
+}
+
+// stepMonotonicity (Case 2): h(Y) → h(X) materializes Π_X(guard).
+func (e *engine) stepMonotonicity(f *frame, step flow.Step) error {
+	x, y := step.A, step.B
+	src := flow.Marginal(y)
+	ci, ok := f.support[src]
+	if !ok {
+		return fmt.Errorf("core: monotonicity step %v lacks support for %v", step, src)
+	}
+	if err := step.Apply(f.delta); err != nil {
+		return err
+	}
+	f.dropIfZero(src)
+	if x == 0 {
+		// h(Y) → h(∅): the term is discarded; nothing to materialize.
+		e.tracef("monotonicity: drop %v", src)
+		return nil
+	}
+	g := f.cons[ci].guard
+	p := e.note(g.Project(x))
+	e.stats.Projections++
+	nc := rtCon{x: 0, y: x, logN: query.LogOf(int64(p.Size())), guard: p}
+	nc.nFloat, _ = nc.logN.Float64()
+	f.cons = append(f.cons, nc)
+	f.setSupport(flow.Marginal(x), len(f.cons)-1, f.cons)
+	e.tracef("monotonicity: %s := Π_%s(%s), |%s| = %d", p.Name, e.label(x), g.Name, p.Name, p.Size())
+	return nil
+}
+
+// stepDecomposition (Case 3): h(Y) → h(X) + h(Y|X) partitions the guard by
+// X-degree (Lemma 6.1) and spawns one subproblem per bucket; results are
+// unioned per target.
+func (e *engine) stepDecomposition(f *frame, step flow.Step) (map[bitset.Set]*relation.Relation, error) {
+	x, y := step.A, step.B
+	src := flow.Marginal(y)
+	ci, ok := f.support[src]
+	if !ok {
+		return nil, fmt.Errorf("core: decomposition step %v lacks support for %v", step, src)
+	}
+	g := f.cons[ci].guard
+	buckets := partitionByProjDegree(g, y, x)
+	e.stats.Partitions++
+	e.tracef("decomposition: partition %s by deg(%s|%s) into %d buckets",
+		g.Name, e.label(y), e.label(x), len(buckets))
+	out := map[bitset.Set]*relation.Relation{}
+	for _, bk := range buckets {
+		e.stats.Subproblems++
+		child := &frame{
+			cons:    make([]rtCon, len(f.cons), len(f.cons)+2),
+			support: make(map[flow.Pair]int, len(f.support)+2),
+			lambda:  f.lambda.Clone(),
+			delta:   f.delta.Clone(),
+			seq:     f.seq,
+		}
+		copy(child.cons, f.cons)
+		for p, c := range f.support {
+			child.support[p] = c
+		}
+		// Replace g by the bucket everywhere it guards a constraint
+		// (degrees only shrink on subsets, so every bound stays valid).
+		for k := range child.cons {
+			if child.cons[k].guard == g {
+				child.cons[k].guard = bk
+			}
+		}
+		if err := step.Apply(child.delta); err != nil {
+			return nil, err
+		}
+		child.dropIfZero(src)
+		py := bk.Project(y)
+		nx := int64(py.Project(x).Size())
+		dyx := int64(py.Degree(y, x))
+		cx := rtCon{x: 0, y: x, logN: query.LogOf(nx), guard: bk}
+		cx.nFloat, _ = cx.logN.Float64()
+		cyx := rtCon{x: x, y: y, logN: query.LogOf(dyx), guard: bk}
+		cyx.nFloat, _ = cyx.logN.Float64()
+		child.cons = append(child.cons, cx, cyx)
+		if x != 0 {
+			child.setSupport(flow.Marginal(x), len(child.cons)-2, child.cons)
+		}
+		child.setSupport(flow.Pair{X: x, Y: y}, len(child.cons)-1, child.cons)
+		res, err := e.run(child)
+		if err != nil {
+			return nil, err
+		}
+		mergeTables(out, res)
+	}
+	return out, nil
+}
+
+// stepComposition (Case 4): h(X) + h(Y|X) → h(Y). Within budget the join is
+// materialized (4a); over budget the inequality is truncated and the proof
+// sequence rebuilt (4b).
+func (e *engine) stepComposition(f *frame, step flow.Step) (bool, map[bitset.Set]*relation.Relation, error) {
+	x, y := step.A, step.B
+	srcX := flow.Marginal(x)
+	srcYX := flow.Pair{X: x, Y: y}
+	cxi, okX := f.support[srcX]
+	cyi, okY := f.support[srcYX]
+	if !okX || !okY {
+		return false, nil, fmt.Errorf("core: composition step %v lacks supports (%v:%v, %v:%v)",
+			step, srcX, okX, srcYX, okY)
+	}
+	cx, cy := f.cons[cxi], f.cons[cyi]
+	if e.opt.DisableBudget || cx.nFloat+cy.nFloat <= e.objFloat+budgetSlack {
+		// Case 4a: perform the join T(A_Y) := Π_X(R) ⋈ Π_W(S) with
+		// W = cy.y; the support invariant gives X ∪ W = Y.
+		r, s := cx.guard, cy.guard
+		t := e.note(r.Project(x).Join(s.Project(cy.y)))
+		e.stats.Joins++
+		if t.Attrs() != y {
+			return false, nil, fmt.Errorf("core: join schema %v ≠ %v", t.Attrs(), y)
+		}
+		if err := step.Apply(f.delta); err != nil {
+			return false, nil, err
+		}
+		nc := rtCon{x: 0, y: y, logN: query.LogOf(int64(t.Size())), guard: t}
+		nc.nFloat, _ = nc.logN.Float64()
+		f.cons = append(f.cons, nc)
+		f.setSupport(flow.Marginal(y), len(f.cons)-1, f.cons)
+		f.dropIfZero(srcX)
+		f.dropIfZero(srcYX)
+		e.tracef("composition: %s := Π_%s(%s) ⋈ Π_%s(%s), |T| = %d",
+			t.Name, e.label(x), r.Name, e.label(cy.y), s.Name, t.Size())
+		return false, nil, nil
+	}
+	// Case 4b: the join would blow the budget; truncate and restart.
+	e.stats.Restarts++
+	e.restarts++
+	if e.restarts > 10000 {
+		return false, nil, fmt.Errorf("core: too many Case-4b restarts")
+	}
+	e.tracef("composition: skip join on %v (n=%.3f+%.3f > OBJ=%.3f); truncate at %v",
+		y, cx.nFloat, cy.nFloat, e.objFloat, e.label(y))
+	delta := f.delta.Clone()
+	if err := step.Apply(delta); err != nil {
+		return false, nil, err
+	}
+	wit, err := flow.FindWitness(e.n, f.lambda, delta)
+	if err != nil {
+		return false, nil, fmt.Errorf("core: case 4b witness: %w", err)
+	}
+	tr, err := flow.Truncate(f.lambda, delta, wit, y, step.W)
+	if err != nil {
+		return false, nil, fmt.Errorf("core: case 4b truncate: %w", err)
+	}
+	if tr.Lambda.L1().Sign() <= 0 {
+		return false, nil, fmt.Errorf("core: truncation left no targets (‖λ'‖ = 0)")
+	}
+	seq, err := flow.ConstructProof(tr.Lambda, tr.Delta, tr.Witness)
+	if err != nil {
+		return false, nil, fmt.Errorf("core: case 4b proof: %w", err)
+	}
+	// Rebuild supports for the surviving coordinates.
+	support := map[flow.Pair]int{}
+	for p, v := range tr.Delta {
+		if v.Sign() <= 0 {
+			continue
+		}
+		if ci, ok := f.support[p]; ok {
+			support[p] = ci
+		} else {
+			return false, nil, fmt.Errorf("core: truncated δ%v lost its support", p)
+		}
+	}
+	child := &frame{cons: f.cons, support: support, lambda: tr.Lambda, delta: tr.Delta, seq: seq}
+	out, err := e.run(child)
+	return true, out, err
+}
+
+func mergeTables(dst, src map[bitset.Set]*relation.Relation) {
+	for b, r := range src {
+		if cur, ok := dst[b]; ok {
+			dst[b] = cur.Union(r)
+		} else {
+			dst[b] = r
+		}
+	}
+}
+
+// partitionByProjDegree partitions R's tuples by the degree bucket of their
+// A_X value computed over T = Π_Y(R) (Lemma 6.1 applied to the guard
+// relation, keeping R's full schema so it can keep guarding its other
+// constraints).
+func partitionByProjDegree(r *relation.Relation, y, x bitset.Set) []*relation.Relation {
+	t := r.Project(y)
+	parts := t.PartitionByDegree(y, x)
+	if x == 0 || x == y {
+		// Degenerate split: single bucket with the whole relation.
+		return []*relation.Relation{r.Clone(r.Name + "[all]")}
+	}
+	out := make([]*relation.Relation, len(parts))
+	// Assign each tuple of R to the bucket holding its Π_X value.
+	rowKeyPos := make([]int, 0, x.Card())
+	for i, c := range r.Cols() {
+		if x.Contains(c) {
+			rowKeyPos = append(rowKeyPos, i)
+		}
+	}
+	bucketOf := map[string]int{}
+	for bi, p := range parts {
+		px := p.Project(x)
+		for _, row := range px.Rows() {
+			bucketOf[rowKey(row)] = bi
+		}
+		out[bi] = relation.New(fmt.Sprintf("%s[b%d]", r.Name, bi), r.Attrs())
+	}
+	buf := make([]relation.Value, len(rowKeyPos))
+	for _, row := range r.Rows() {
+		for i, p := range rowKeyPos {
+			buf[i] = row[p]
+		}
+		if bi, ok := bucketOf[rowKey(buf)]; ok {
+			out[bi].Insert(row)
+		}
+	}
+	return out
+}
+
+func rowKey(t []relation.Value) string {
+	b := make([]byte, 8*len(t))
+	for i, v := range t {
+		for k := 0; k < 8; k++ {
+			b[8*i+k] = byte(v >> (8 * k))
+		}
+	}
+	return string(b)
+}

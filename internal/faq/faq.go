@@ -1,0 +1,286 @@
+// Package faq implements the Section 8 extension: FAQ-SS / SumProd queries
+// over a single commutative semiring [2, 5],
+//
+//	Q(A_F) = ⊕_{a_{[n]∖F}} ⊗_{S∈E} ψ_S(A_S),
+//
+// evaluated by variable elimination along a tree decomposition whose
+// non-free variables are eliminated first (a free-connex ordering). With
+// the Boolean semiring this is Boolean conjunctive query evaluation; with
+// the counting semiring it counts answers; with the tropical semiring it
+// solves min-plus problems — all through the same algorithm, which is how
+// the paper argues PANDA's width guarantees carry over to aggregates.
+package faq
+
+import (
+	"fmt"
+
+	"panda/internal/bitset"
+	"panda/internal/relation"
+)
+
+// Semiring is a commutative semiring (⊕, ⊗, 0̄, 1̄) over values of type V.
+type Semiring[V any] struct {
+	Zero V // additive identity (annihilates nothing; absent tuples)
+	One  V // multiplicative identity
+	Add  func(a, b V) V
+	Mul  func(a, b V) V
+}
+
+// Counting is the (ℕ, +, ×) semiring.
+func Counting() Semiring[int64] {
+	return Semiring[int64]{
+		Zero: 0, One: 1,
+		Add: func(a, b int64) int64 { return a + b },
+		Mul: func(a, b int64) int64 { return a * b },
+	}
+}
+
+// Boolean is the ({0,1}, ∨, ∧) semiring.
+func Boolean() Semiring[bool] {
+	return Semiring[bool]{
+		Zero: false, One: true,
+		Add: func(a, b bool) bool { return a || b },
+		Mul: func(a, b bool) bool { return a && b },
+	}
+}
+
+// Tropical is the (ℝ∪{∞}, min, +) semiring, encoded with a large sentinel.
+func Tropical() Semiring[float64] {
+	const inf = 1e300
+	return Semiring[float64]{
+		Zero: inf, One: 0,
+		Add: func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Mul: func(a, b float64) float64 { return a + b },
+	}
+}
+
+// Factor is a weighted relation ψ_S: tuples over Vars with semiring
+// weights; absent tuples carry weight 0̄.
+type Factor[V any] struct {
+	Vars    bitset.Set
+	cols    []int
+	weights map[string]V
+	rows    [][]relation.Value
+}
+
+// NewFactor creates an empty factor over the given variables.
+func NewFactor[V any](vars bitset.Set) *Factor[V] {
+	return &Factor[V]{Vars: vars, cols: vars.Vars(), weights: map[string]V{}}
+}
+
+// FromRelation lifts a relation to a factor with weight 1̄ per tuple.
+func FromRelation[V any](sr Semiring[V], r *relation.Relation) *Factor[V] {
+	f := NewFactor[V](r.Attrs())
+	for _, t := range r.Rows() {
+		f.Set(t, sr.One)
+	}
+	return f
+}
+
+func key(t []relation.Value) string {
+	b := make([]byte, 8*len(t))
+	for i, v := range t {
+		for k := 0; k < 8; k++ {
+			b[8*i+k] = byte(v >> (8 * k))
+		}
+	}
+	return string(b)
+}
+
+// Set assigns a weight to a tuple (in sorted-variable column order).
+func (f *Factor[V]) Set(t []relation.Value, w V) {
+	if len(t) != len(f.cols) {
+		panic(fmt.Sprintf("faq: tuple arity %d, want %d", len(t), len(f.cols)))
+	}
+	k := key(t)
+	if _, ok := f.weights[k]; !ok {
+		f.rows = append(f.rows, append([]relation.Value(nil), t...))
+	}
+	f.weights[k] = w
+}
+
+// Weight returns the tuple's weight and whether it is present.
+func (f *Factor[V]) Weight(t []relation.Value) (V, bool) {
+	w, ok := f.weights[key(t)]
+	return w, ok
+}
+
+// Size returns the number of explicit tuples.
+func (f *Factor[V]) Size() int { return len(f.rows) }
+
+// Multiply computes the factor product ψ ⊗ φ over the union schema
+// (a weighted natural join).
+func Multiply[V any](sr Semiring[V], a, b *Factor[V]) *Factor[V] {
+	common := a.Vars.Intersect(b.Vars)
+	out := NewFactor[V](a.Vars.Union(b.Vars))
+	// Index b by common attrs.
+	bPos := positions(b.cols, common)
+	idx := map[string][]int{}
+	for i, t := range b.rows {
+		k := key(sub(t, bPos))
+		idx[k] = append(idx[k], i)
+	}
+	aPos := positions(a.cols, common)
+	outFromA := mapping(out.cols, a.cols)
+	outFromB := mapping(out.cols, b.cols)
+	buf := make([]relation.Value, len(out.cols))
+	for _, ta := range a.rows {
+		wa := a.weights[key(ta)]
+		for _, bi := range idx[key(sub(ta, aPos))] {
+			tb := b.rows[bi]
+			for i := range buf {
+				if outFromA[i] >= 0 {
+					buf[i] = ta[outFromA[i]]
+				} else {
+					buf[i] = tb[outFromB[i]]
+				}
+			}
+			w := sr.Mul(wa, b.weights[key(tb)])
+			if old, ok := out.Weight(buf); ok {
+				w = sr.Add(old, w) // duplicate joins cannot occur, but stay safe
+			}
+			out.Set(buf, w)
+		}
+	}
+	return out
+}
+
+// Marginalize computes ⊕ over the variables in elim, keeping Vars∖elim.
+func Marginalize[V any](sr Semiring[V], f *Factor[V], elim bitset.Set) *Factor[V] {
+	keep := f.Vars.Minus(elim)
+	out := NewFactor[V](keep)
+	pos := positions(f.cols, keep)
+	for _, t := range f.rows {
+		s := sub(t, pos)
+		w := f.weights[key(t)]
+		if old, ok := out.Weight(s); ok {
+			w = sr.Add(old, w)
+		}
+		out.Set(s, w)
+	}
+	return out
+}
+
+func positions(cols []int, x bitset.Set) []int {
+	var out []int
+	for i, c := range cols {
+		if x.Contains(c) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sub(t []relation.Value, pos []int) []relation.Value {
+	s := make([]relation.Value, len(pos))
+	for i, p := range pos {
+		s[i] = t[p]
+	}
+	return s
+}
+
+func mapping(outCols, inCols []int) []int {
+	m := make([]int, len(outCols))
+	for i, c := range outCols {
+		m[i] = -1
+		for j, d := range inCols {
+			if d == c {
+				m[i] = j
+			}
+		}
+	}
+	return m
+}
+
+// Query is a SumProd query: factors over [n], with Free variables kept.
+type Query[V any] struct {
+	N       int
+	Free    bitset.Set
+	Factors []*Factor[V]
+}
+
+// Eval answers the query by variable elimination: non-free variables are
+// eliminated one at a time (min-degree-style greedy order), multiplying the
+// factors containing the variable and marginalizing it out; finally the
+// remaining factors are multiplied. The result is a factor over Free.
+// For Free = ∅ the result holds the scalar answer at the empty tuple.
+func Eval[V any](sr Semiring[V], q *Query[V]) (*Factor[V], error) {
+	factors := append([]*Factor[V](nil), q.Factors...)
+	if len(factors) == 0 {
+		return nil, fmt.Errorf("faq: no factors")
+	}
+	var covered bitset.Set
+	for _, f := range factors {
+		covered = covered.Union(f.Vars)
+	}
+	if !q.Free.SubsetOf(covered) {
+		return nil, fmt.Errorf("faq: free variables %v not covered", q.Free.Minus(covered))
+	}
+	elim := covered.Minus(q.Free)
+	for elim != 0 {
+		// Greedy: eliminate the variable whose combined factor has the
+		// fewest participating factors (a standard min-width heuristic;
+		// the paper's free-connex tree decompositions correspond to
+		// particular orderings).
+		bestV, bestCount := -1, 1<<30
+		for _, v := range elim.Vars() {
+			c := 0
+			for _, f := range factors {
+				if f.Vars.Contains(v) {
+					c++
+				}
+			}
+			if c < bestCount {
+				bestV, bestCount = v, c
+			}
+		}
+		v := bestV
+		var acc *Factor[V]
+		var rest []*Factor[V]
+		for _, f := range factors {
+			if !f.Vars.Contains(v) {
+				rest = append(rest, f)
+				continue
+			}
+			if acc == nil {
+				acc = f
+			} else {
+				acc = Multiply(sr, acc, f)
+			}
+		}
+		if acc == nil {
+			return nil, fmt.Errorf("faq: variable %d in no factor", v)
+		}
+		rest = append(rest, Marginalize(sr, acc, bitset.Singleton(v)))
+		factors = rest
+		elim = elim.Remove(v)
+	}
+	acc := factors[0]
+	for _, f := range factors[1:] {
+		acc = Multiply(sr, acc, f)
+	}
+	// Project away any stray variables (factors may cover more than Free
+	// if a free variable shares a factor with eliminated ones).
+	if acc.Vars != q.Free {
+		acc = Marginalize(sr, acc, acc.Vars.Minus(q.Free))
+	}
+	return acc, nil
+}
+
+// Count answers the counting FAQ for a conjunctive query instance: the
+// number of output tuples of the full join projected to Free… with
+// multiplicity semantics of the counting semiring (i.e. the number of
+// valuations of all variables extending each free tuple).
+func Count(n int, free bitset.Set, rels []*relation.Relation) (*Factor[int64], error) {
+	sr := Counting()
+	q := &Query[int64]{N: n, Free: free}
+	for _, r := range rels {
+		q.Factors = append(q.Factors, FromRelation(sr, r))
+	}
+	return Eval(sr, q)
+}

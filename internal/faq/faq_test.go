@@ -1,0 +1,161 @@
+package faq
+
+import (
+	"math/rand"
+	"testing"
+
+	"panda/internal/bitset"
+	"panda/internal/query"
+	"panda/internal/relation"
+	"panda/internal/workload"
+)
+
+func TestCountingTriangles(t *testing.T) {
+	// Count triangles in a small graph via the counting semiring.
+	q := workload.TriangleQuery()
+	ins := query.NewInstance(&q.Schema)
+	edges := [][2]int64{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {0, 3}, {1, 3}} // K4
+	for _, e := range edges {
+		ins.Relations[0].Insert([]relation.Value{e[0], e[1]})
+		ins.Relations[1].Insert([]relation.Value{e[0], e[1]})
+		ins.Relations[2].Insert([]relation.Value{e[0], e[1]})
+	}
+	out, err := Count(3, 0, ins.Relations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := out.Weight([]relation.Value{})
+	if !ok {
+		t.Fatal("no scalar result")
+	}
+	// Ordered triangles of K4 with edges as ordered pairs (i<j):
+	// R(a,b), S(b,c), T(a,c) with all pairs increasing — count = C(4,3) = 4.
+	if got != 4 {
+		t.Fatalf("triangle count = %d, want 4", got)
+	}
+}
+
+func TestCountMatchesJoinSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	q := workload.TriangleQuery()
+	for trial := 0; trial < 15; trial++ {
+		ins := query.NewInstance(&q.Schema)
+		for i := range ins.Relations {
+			for k := 0; k < 25; k++ {
+				ins.Relations[i].Insert([]relation.Value{
+					relation.Value(rng.Intn(5)), relation.Value(rng.Intn(5))})
+			}
+		}
+		out, err := Count(3, 0, ins.Relations)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := out.Weight([]relation.Value{})
+		want := int64(ins.FullJoin().Size())
+		if got != want {
+			t.Fatalf("trial %d: count %d ≠ join size %d", trial, got, want)
+		}
+	}
+}
+
+func TestFreeVariables(t *testing.T) {
+	// Q(A) = #{(B): R(A,B) ∧ S(B)} — counting with one free variable.
+	sr := Counting()
+	r := NewFactor[int64](bitset.Of(0, 1))
+	r.Set([]relation.Value{1, 10}, 1)
+	r.Set([]relation.Value{1, 20}, 1)
+	r.Set([]relation.Value{2, 10}, 1)
+	s := NewFactor[int64](bitset.Of(1))
+	s.Set([]relation.Value{10}, 1)
+	s.Set([]relation.Value{20}, 1)
+	out, err := Eval(sr, &Query[int64]{N: 2, Free: bitset.Of(0), Factors: []*Factor[int64]{r, s}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, _ := out.Weight([]relation.Value{1}); w != 2 {
+		t.Fatalf("Q(1) = %d, want 2", w)
+	}
+	if w, _ := out.Weight([]relation.Value{2}); w != 1 {
+		t.Fatalf("Q(2) = %d, want 1", w)
+	}
+}
+
+func TestBooleanSemiring(t *testing.T) {
+	sr := Boolean()
+	r := FromRelation(sr, relTuples(bitset.Of(0, 1), [][2]int64{{1, 2}}))
+	s := FromRelation(sr, relTuples(bitset.Of(1, 2), [][2]int64{{2, 3}}))
+	out, err := Eval(sr, &Query[bool]{N: 3, Free: 0, Factors: []*Factor[bool]{r, s}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := out.Weight([]relation.Value{}); !ok || !w {
+		t.Fatalf("Boolean FAQ = %v, %v; want true", w, ok)
+	}
+	// Disconnect: no result tuple survives at weight 1̄, so the scalar is
+	// absent (0̄).
+	s2 := FromRelation(sr, relTuples(bitset.Of(1, 2), [][2]int64{{9, 9}}))
+	out, err = Eval(sr, &Query[bool]{N: 3, Free: 0, Factors: []*Factor[bool]{r, s2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := out.Weight([]relation.Value{}); ok && w {
+		t.Fatal("Boolean FAQ should be false")
+	}
+}
+
+func TestTropicalShortestPath(t *testing.T) {
+	// Min-plus: shortest 2-hop path weight from node 1 to node 3 through
+	// factors W1(A,B), W2(B,C) — an FAQ-SS over the tropical semiring.
+	sr := Tropical()
+	w1 := NewFactor[float64](bitset.Of(0, 1))
+	w1.Set([]relation.Value{1, 2}, 5)
+	w1.Set([]relation.Value{1, 4}, 2)
+	w2 := NewFactor[float64](bitset.Of(1, 2))
+	w2.Set([]relation.Value{2, 3}, 1)
+	w2.Set([]relation.Value{4, 3}, 7)
+	out, err := Eval(sr, &Query[float64]{N: 3, Free: bitset.Of(0, 2), Factors: []*Factor[float64]{w1, w2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := out.Weight([]relation.Value{1, 3})
+	if !ok {
+		t.Fatal("no path found")
+	}
+	if w != 6 { // min(5+1, 2+7) = 6
+		t.Fatalf("shortest 2-hop weight = %v, want 6", w)
+	}
+}
+
+func TestFourCycleCount(t *testing.T) {
+	// Counting 4-cycles on the adversarial instance: m² cycles.
+	q := workload.FourCycleQuery()
+	ins := workload.CycleWorstCase(q, 9)
+	out, err := Count(4, 0, ins.Relations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := out.Weight([]relation.Value{})
+	if got != 81 {
+		t.Fatalf("4-cycle count = %d, want 81", got)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	sr := Counting()
+	if _, err := Eval(sr, &Query[int64]{N: 1, Free: 0}); err == nil {
+		t.Fatal("no factors accepted")
+	}
+	f := NewFactor[int64](bitset.Of(0))
+	f.Set([]relation.Value{1}, 1)
+	if _, err := Eval(sr, &Query[int64]{N: 2, Free: bitset.Of(1), Factors: []*Factor[int64]{f}}); err == nil {
+		t.Fatal("uncovered free variable accepted")
+	}
+}
+
+func relTuples(attrs bitset.Set, rows [][2]int64) *relation.Relation {
+	r := relation.New("R", attrs)
+	for _, row := range rows {
+		r.Insert([]relation.Value{row[0], row[1]})
+	}
+	return r
+}

@@ -1,0 +1,176 @@
+package flow
+
+import (
+	"fmt"
+	"math/big"
+
+	"panda/internal/bitset"
+)
+
+// ConstructProof builds a proof sequence for the Shannon flow inequality
+// 〈λ,h〉 ≤ 〈δ,h〉 given a witness (σ,µ), following the constructive proof of
+// Theorem 5.9. The unit-weight induction of the paper is run in batched
+// form: each iteration moves t = min(available masses) instead of 1/D,
+// a run-length compression that preserves every invariant and keeps
+// sequences short. The inputs are not modified.
+func ConstructProof(lambda, delta Vec, w *Witness) (ProofSequence, error) {
+	if err := CheckWitness(lambda, delta, w); err != nil {
+		return nil, fmt.Errorf("flow: construct: %w", err)
+	}
+	lam := lambda.Clone()
+	del := delta.Clone()
+	wit := w.Clone()
+	var seq ProofSequence
+
+	emit := func(s Step) error {
+		if err := s.Apply(del); err != nil {
+			return err
+		}
+		seq = append(seq, s)
+		return nil
+	}
+
+	const maxIter = 200000
+	for iter := 0; ; iter++ {
+		if lam.L1().Sign() == 0 {
+			return seq, nil
+		}
+		if iter > maxIter {
+			return nil, fmt.Errorf("flow: proof construction exceeded %d iterations", maxIter)
+		}
+		// Pick Z with δ_{Z|∅} > 0, preferring one that pays off a target
+		// (case a) for shorter sequences.
+		var zSel bitset.Set
+		found, caseA := false, false
+		for _, p := range del.Pairs() {
+			if p.X != 0 || del.Get(p).Sign() <= 0 {
+				continue
+			}
+			if lam.Get(Marginal(p.Y)).Sign() > 0 {
+				zSel, found, caseA = p.Y, true, true
+				break
+			}
+			if !found {
+				zSel, found = p.Y, true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("flow: no marginal δ term available but ‖λ‖ = %v > 0", lam.L1())
+		}
+		z := zSel
+		zm := Marginal(z)
+
+		if caseA { // Case (a): deliver mass to target Z.
+			t := minRat(lam.Get(zm), del.Get(zm))
+			lam.Sub(zm, t)
+			del.Sub(zm, t)
+			continue
+		}
+		in := Inflows(del, wit)
+		inZ, ok := in[z]
+		if !ok {
+			inZ = new(big.Rat)
+		}
+		if inZ.Sign() > 0 { // Case (b): burn surplus.
+			t := minRat(inZ, del.Get(zm))
+			del.Sub(zm, t)
+			continue
+		}
+		// Case (c): inflow(Z) = 0 with δ_{Z|∅} > 0 — find a negative
+		// contributor to inflow(Z) and emit the corresponding step(s).
+		// (c1) µ_{X,Z} > 0 for some X ⊂ Z.
+		handled := false
+		for _, p := range pairKeysSorted(wit.Mu) {
+			if p.Y != z || wit.Mu[p].Sign() <= 0 {
+				continue
+			}
+			t := minRat(del.Get(zm), wit.Mu[p])
+			if err := emit(Step{Kind: Monotonicity, W: t, A: p.X, B: z}); err != nil {
+				return nil, err
+			}
+			wit.Mu[p].Sub(wit.Mu[p], t)
+			handled = true
+			break
+		}
+		if handled {
+			continue
+		}
+		// (c2) δ_{Y|Z} > 0 for some Y ⊃ Z.
+		for _, p := range del.Pairs() {
+			if p.X != z || del.Get(p).Sign() <= 0 {
+				continue
+			}
+			t := minRat(del.Get(zm), del.Get(p))
+			if err := emit(Step{Kind: Composition, W: t, A: z, B: p.Y}); err != nil {
+				return nil, err
+			}
+			handled = true
+			break
+		}
+		if handled {
+			continue
+		}
+		// (c3) σ_{Z,J} > 0 for some J ⊥ Z.
+		for _, sp := range sigKeysSorted(wit.Sigma) {
+			v := wit.Sigma[sp]
+			if v.Sign() <= 0 {
+				continue
+			}
+			var j bitset.Set
+			switch z {
+			case sp.I:
+				j = sp.J
+			case sp.J:
+				j = sp.I
+			default:
+				continue
+			}
+			t := minRat(del.Get(zm), v)
+			if x := z.Intersect(j); x != 0 {
+				if err := emit(Step{Kind: Decomposition, W: t, A: x, B: z}); err != nil {
+					return nil, err
+				}
+			}
+			if err := emit(Step{Kind: Submodularity, W: t, A: z, B: j}); err != nil {
+				return nil, err
+			}
+			v.Sub(v, t)
+			handled = true
+			break
+		}
+		if !handled {
+			return nil, fmt.Errorf("flow: stuck at Z=%v: inflow 0, no negative contributor (witness inconsistent)", z)
+		}
+	}
+}
+
+func minRat(a, b *big.Rat) *big.Rat {
+	if a.Cmp(b) <= 0 {
+		return new(big.Rat).Set(a)
+	}
+	return new(big.Rat).Set(b)
+}
+
+func pairKeysSorted(m map[Pair]*big.Rat) []Pair {
+	v := Vec(m)
+	return v.Pairs()
+}
+
+func sigKeysSorted(m map[SigPair]*big.Rat) []SigPair {
+	out := make([]SigPair, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	// Deterministic order by (I, J).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			a, b := out[j-1], out[j]
+			if a.I > b.I || (a.I == b.I && a.J > b.J) {
+				out[j-1], out[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,330 @@
+package flow
+
+import (
+	"fmt"
+	"math/big"
+
+	"panda/internal/bitset"
+	"panda/internal/lp"
+	"panda/internal/setfunc"
+)
+
+// DC is a degree constraint (X, Y, N_{Y|X}) in log form: h(Y|X) ≤ LogN.
+// Cardinality constraints have X = ∅; FDs have LogN = 0.
+type DC struct {
+	X, Y bitset.Set
+	LogN *big.Rat
+}
+
+// MaximinResult is the full output of the Lemma 5.2 / Proposition 5.4
+// pipeline: the polymatroid bound value, the λ of the linearized objective,
+// the dual δ (per input constraint and merged by conditional pair), the
+// witness (σ,µ), and the optimal polymatroid h*.
+type MaximinResult struct {
+	Bound      *big.Rat   // LogSizeBound_{Γn∩HDC} = max_h min_B h(B)
+	Lambda     Vec        // ‖λ‖₁ = 1, support on targets
+	Delta      Vec        // merged by (X,Y); Σ n·δ ≤ Bound with equality pre-scaling
+	DeltaByCon []*big.Rat // δ per input constraint, aligned with dcs
+	Witness    *Witness
+	HStar      *setfunc.Func // optimal polymatroid achieving the bound
+}
+
+// MaximinBound solves LogSizeBound_{Γn∩HDC}(targets) = max_{h∈Γn∩HDC}
+// min_B h(B) exactly, per Eq. (7)/(9). One LP solve (the dual form (72),
+// with Γn presented by its elemental inequalities) yields the bound, the λ
+// of Lemma 5.2, the dual (δ,σ,µ) of LP (73) — a witness by
+// Proposition 5.4 — and the optimal polymatroid h* (from the LP duals).
+// The returned vectors are scaled so ‖λ‖₁ = 1 (invariant (84)).
+func MaximinBound(n int, dcs []DC, targets []bitset.Set) (*MaximinResult, error) {
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("flow: no targets")
+	}
+	full := bitset.Full(n)
+	for _, dc := range dcs {
+		if !dc.X.ProperSubsetOf(dc.Y) || !dc.Y.SubsetOf(full) {
+			return nil, fmt.Errorf("flow: bad constraint X=%v Y=%v", dc.X, dc.Y)
+		}
+		if dc.LogN == nil || dc.LogN.Sign() < 0 {
+			return nil, fmt.Errorf("flow: constraint needs LogN ≥ 0")
+		}
+	}
+	// A target ∅ forces the bound to 0: h(∅) = 0 for every polymatroid.
+	// Callers special-case ∅ targets (the model {()} is always valid).
+	for _, b := range targets {
+		if b == 0 {
+			return &MaximinResult{
+				Bound:      new(big.Rat),
+				Lambda:     NewVec(),
+				Delta:      NewVec(),
+				DeltaByCon: make([]*big.Rat, len(dcs)),
+				Witness:    NewWitness(),
+				HStar:      setfunc.New(n),
+			}, nil
+		}
+	}
+	// Deduplicate targets.
+	tset := map[bitset.Set]bool{}
+	var tlist []bitset.Set
+	for _, b := range targets {
+		if !tset[b] {
+			tset[b] = true
+			tlist = append(tlist, b)
+		}
+	}
+
+	// Variable layout: δ (per constraint) | σ (elemental) | µ (elemental) | z (per target).
+	type sigVar struct {
+		s    bitset.Set
+		i, j int
+	}
+	type muVar struct {
+		x bitset.Set
+		i int
+	}
+	var sigs []sigVar
+	var mus []muVar
+	for s := bitset.Set(0); s <= full; s++ {
+		for i := 0; i < n; i++ {
+			if s.Contains(i) {
+				continue
+			}
+			mus = append(mus, muVar{x: s, i: i})
+			for j := i + 1; j < n; j++ {
+				if s.Contains(j) {
+					continue
+				}
+				sigs = append(sigs, sigVar{s: s, i: i, j: j})
+			}
+		}
+	}
+	offSig := len(dcs)
+	offMu := offSig + len(sigs)
+	offZ := offMu + len(mus)
+	nv := offZ + len(tlist)
+
+	prob := lp.NewProblem(nv, false)
+	for k, dc := range dcs {
+		prob.SetObj(k, dc.LogN)
+	}
+	rows := make([]map[int]*big.Rat, 1<<uint(n))
+	addCoef := func(z bitset.Set, v int, c int64) {
+		if z == 0 {
+			return
+		}
+		if rows[z] == nil {
+			rows[z] = map[int]*big.Rat{}
+		}
+		r, ok := rows[z][v]
+		if !ok {
+			r = new(big.Rat)
+			rows[z][v] = r
+		}
+		r.Add(r, big.NewRat(c, 1))
+	}
+	for k, dc := range dcs {
+		addCoef(dc.Y, k, 1)
+		addCoef(dc.X, k, -1)
+	}
+	for v, sv := range sigs {
+		i, j := sv.s.Add(sv.i), sv.s.Add(sv.j)
+		addCoef(i.Intersect(j), offSig+v, 1)
+		addCoef(i.Union(j), offSig+v, 1)
+		addCoef(i, offSig+v, -1)
+		addCoef(j, offSig+v, -1)
+	}
+	for v, mv := range mus {
+		addCoef(mv.x, offMu+v, 1)
+		addCoef(mv.x.Add(mv.i), offMu+v, -1)
+	}
+	for t, b := range tlist {
+		addCoef(b, offZ+t, -1) // inflow(B) ≥ z_B
+	}
+	zero := new(big.Rat)
+	one := big.NewRat(1, 1)
+	rowOf := make(map[bitset.Set]int)
+	for z := bitset.Set(1); z <= full; z++ {
+		row := rows[z]
+		if row == nil {
+			continue // 0 ≥ 0
+		}
+		rowOf[z] = prob.AddConstraint(row, lp.Ge, zero)
+	}
+	zrow := map[int]*big.Rat{}
+	for t := range tlist {
+		zrow[offZ+t] = one
+	}
+	prob.AddConstraint(zrow, lp.Ge, one) // 1ᵀz ≥ 1 (Lemma 5.3's dual row)
+
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case lp.Optimal:
+	case lp.Infeasible:
+		// Dual infeasible ⟺ the primal max is unbounded: the constraints do
+		// not bound some target.
+		return nil, fmt.Errorf("flow: bound is unbounded (+∞): constraints do not bound every target")
+	default:
+		return nil, fmt.Errorf("flow: unexpected LP status %v", sol.Status)
+	}
+
+	res := &MaximinResult{
+		Bound:      new(big.Rat).Set(sol.Objective),
+		Lambda:     NewVec(),
+		Delta:      NewVec(),
+		DeltaByCon: make([]*big.Rat, len(dcs)),
+		Witness:    NewWitness(),
+	}
+	// Scale so ‖λ‖₁ = 1 (the LP only enforces Σz ≥ 1; scaling everything
+	// by 1/‖z‖₁ preserves witness feasibility and only tightens Σ n·δ).
+	norm := new(big.Rat)
+	for t := range tlist {
+		norm.Add(norm, sol.X[offZ+t])
+	}
+	scale := big.NewRat(1, 1)
+	if norm.Cmp(one) > 0 {
+		scale.Inv(norm)
+	}
+	for t, b := range tlist {
+		v := new(big.Rat).Mul(sol.X[offZ+t], scale)
+		if v.Sign() > 0 {
+			res.Lambda.Add(Marginal(b), v)
+		}
+	}
+	for k, dc := range dcs {
+		v := new(big.Rat).Mul(sol.X[k], scale)
+		res.DeltaByCon[k] = v
+		if v.Sign() > 0 {
+			res.Delta.Add(Pair{X: dc.X, Y: dc.Y}, v)
+		}
+	}
+	for v, sv := range sigs {
+		x := new(big.Rat).Mul(sol.X[offSig+v], scale)
+		if x.Sign() > 0 {
+			res.Witness.Sigma[Sig(sv.s.Add(sv.i), sv.s.Add(sv.j))] = x
+		}
+	}
+	for v, mv := range mus {
+		x := new(big.Rat).Mul(sol.X[offMu+v], scale)
+		if x.Sign() > 0 {
+			res.Witness.Mu[Pair{X: mv.x, Y: mv.x.Add(mv.i)}] = x
+		}
+	}
+	// h* from the exact LP duals: Dual[row Z] = h*(Z).
+	res.HStar = setfunc.New(n)
+	for z, row := range rowOf {
+		res.HStar.Set(z, sol.Dual[row])
+	}
+	return res, nil
+}
+
+// LinearBound solves max Σ_B c_B·h(B) over Γn ∩ HDC exactly — the
+// right-hand side of Lemma 5.2's Eq. (68) for a fixed λ = c. Returns the
+// optimum and the optimal polymatroid.
+func LinearBound(n int, dcs []DC, objective map[bitset.Set]*big.Rat) (*big.Rat, *setfunc.Func, error) {
+	lam := NewVec()
+	var targets []bitset.Set
+	for b, c := range objective {
+		if c.Sign() < 0 {
+			return nil, nil, fmt.Errorf("flow: negative objective weight")
+		}
+		if c.Sign() > 0 && b != 0 {
+			lam.Add(Marginal(b), c)
+			targets = append(targets, b)
+		}
+	}
+	if len(targets) == 0 {
+		return new(big.Rat), setfunc.New(n), nil
+	}
+	// Solve via the primal formulation's dual with fixed λ: minimize Σ n·δ
+	// subject to inflow(Z) ≥ λ_Z. Reuse MaximinBound machinery by scaling:
+	// for a fixed positive combination, max Σ c_B h(B) has the same dual
+	// rows but with RHS λ instead of the z variables. We build it directly.
+	full := bitset.Full(n)
+	type sigVar struct {
+		s    bitset.Set
+		i, j int
+	}
+	type muVar struct {
+		x bitset.Set
+		i int
+	}
+	var sigs []sigVar
+	var mus []muVar
+	for s := bitset.Set(0); s <= full; s++ {
+		for i := 0; i < n; i++ {
+			if s.Contains(i) {
+				continue
+			}
+			mus = append(mus, muVar{x: s, i: i})
+			for j := i + 1; j < n; j++ {
+				if s.Contains(j) {
+					continue
+				}
+				sigs = append(sigs, sigVar{s: s, i: i, j: j})
+			}
+		}
+	}
+	offSig := len(dcs)
+	offMu := offSig + len(sigs)
+	nv := offMu + len(mus)
+	prob := lp.NewProblem(nv, false)
+	for k, dc := range dcs {
+		prob.SetObj(k, dc.LogN)
+	}
+	rows := make([]map[int]*big.Rat, 1<<uint(n))
+	addCoef := func(z bitset.Set, v int, c int64) {
+		if z == 0 {
+			return
+		}
+		if rows[z] == nil {
+			rows[z] = map[int]*big.Rat{}
+		}
+		r, ok := rows[z][v]
+		if !ok {
+			r = new(big.Rat)
+			rows[z][v] = r
+		}
+		r.Add(r, big.NewRat(c, 1))
+	}
+	for k, dc := range dcs {
+		addCoef(dc.Y, k, 1)
+		addCoef(dc.X, k, -1)
+	}
+	for v, sv := range sigs {
+		i, j := sv.s.Add(sv.i), sv.s.Add(sv.j)
+		addCoef(i.Intersect(j), offSig+v, 1)
+		addCoef(i.Union(j), offSig+v, 1)
+		addCoef(i, offSig+v, -1)
+		addCoef(j, offSig+v, -1)
+	}
+	for v, mv := range mus {
+		addCoef(mv.x, offMu+v, 1)
+		addCoef(mv.x.Add(mv.i), offMu+v, -1)
+	}
+	rowOf := map[bitset.Set]int{}
+	for z := bitset.Set(1); z <= full; z++ {
+		row := rows[z]
+		b := lam.Get(Marginal(z))
+		if row == nil && b.Sign() <= 0 {
+			continue
+		}
+		if row == nil {
+			row = map[int]*big.Rat{}
+		}
+		rowOf[z] = prob.AddConstraint(row, lp.Ge, b)
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, nil, fmt.Errorf("flow: linear bound LP %v (unbounded primal?)", sol.Status)
+	}
+	h := setfunc.New(n)
+	for z, row := range rowOf {
+		h.Set(z, sol.Dual[row])
+	}
+	return new(big.Rat).Set(sol.Objective), h, nil
+}

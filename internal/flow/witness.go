@@ -1,0 +1,287 @@
+package flow
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+
+	"panda/internal/bitset"
+	"panda/internal/lp"
+)
+
+// SigPair indexes a submodularity multiplier σ_{I,J} with I ⊥ J; stored in
+// canonical order I < J.
+type SigPair struct {
+	I, J bitset.Set
+}
+
+// Sig builds a canonical SigPair.
+func Sig(i, j bitset.Set) SigPair {
+	if i > j {
+		i, j = j, i
+	}
+	return SigPair{I: i, J: j}
+}
+
+// Witness is the (σ, µ) of Definition 5.8: multipliers certifying via
+// Proposition 5.6 that 〈λ,h〉 ≤ 〈δ,h〉 is a Shannon flow inequality.
+type Witness struct {
+	Sigma map[SigPair]*big.Rat
+	Mu    map[Pair]*big.Rat // µ_{X,Y} for X ⊂ Y (X may be ∅)
+}
+
+// NewWitness returns an empty witness.
+func NewWitness() *Witness {
+	return &Witness{Sigma: map[SigPair]*big.Rat{}, Mu: map[Pair]*big.Rat{}}
+}
+
+// Clone returns a deep copy.
+func (w *Witness) Clone() *Witness {
+	out := NewWitness()
+	for k, v := range w.Sigma {
+		out.Sigma[k] = new(big.Rat).Set(v)
+	}
+	for k, v := range w.Mu {
+		out.Mu[k] = new(big.Rat).Set(v)
+	}
+	return out
+}
+
+func addTo(m map[bitset.Set]*big.Rat, z bitset.Set, v *big.Rat) {
+	r, ok := m[z]
+	if !ok {
+		r = new(big.Rat)
+		m[z] = r
+	}
+	r.Add(r, v)
+}
+
+func subFrom(m map[bitset.Set]*big.Rat, z bitset.Set, v *big.Rat) {
+	addTo(m, z, new(big.Rat).Neg(v))
+}
+
+// Inflows computes inflow(Z) for every Z per Eq. (74):
+//
+//	inflow(Z) = Σ_X δ_{Z|X} − Σ_Y δ_{Y|Z} + Σ_{I⊥J, I∩J=Z} σ_{I,J}
+//	          + Σ_{I⊥J, I∪J=Z} σ_{I,J} − Σ_{J⊥Z} σ_{Z,J}
+//	          − Σ_{X⊂Z} µ_{X,Z} + Σ_{Z⊂Y} µ_{Z,Y}.
+//
+// Entries not in the map are zero.
+func Inflows(delta Vec, w *Witness) map[bitset.Set]*big.Rat {
+	in := map[bitset.Set]*big.Rat{}
+	for p, v := range delta {
+		addTo(in, p.Y, v)
+		if p.X != 0 {
+			subFrom(in, p.X, v)
+		}
+	}
+	if w == nil {
+		return in
+	}
+	for sp, v := range w.Sigma {
+		addTo(in, sp.I.Intersect(sp.J), v)
+		addTo(in, sp.I.Union(sp.J), v)
+		subFrom(in, sp.I, v)
+		subFrom(in, sp.J, v)
+	}
+	for p, v := range w.Mu {
+		if p.X != 0 {
+			addTo(in, p.X, v)
+		}
+		subFrom(in, p.Y, v)
+	}
+	return in
+}
+
+// CheckWitness verifies Proposition 5.6: inflow(Z) ≥ λ_Z for all Z ≠ ∅ and
+// non-negativity of (δ, σ, µ). A nil error means (σ,µ) witnesses
+// 〈λ,h〉 ≤ 〈δ,h〉.
+func CheckWitness(lambda, delta Vec, w *Witness) error {
+	if !lambda.NonNegative() || !delta.NonNegative() {
+		return fmt.Errorf("flow: negative coordinates in λ or δ")
+	}
+	for _, v := range w.Sigma {
+		if v.Sign() < 0 {
+			return fmt.Errorf("flow: negative σ entry")
+		}
+	}
+	for _, v := range w.Mu {
+		if v.Sign() < 0 {
+			return fmt.Errorf("flow: negative µ entry")
+		}
+	}
+	for p := range lambda {
+		if p.X != 0 {
+			return fmt.Errorf("flow: λ has conditioned coordinate %v", p)
+		}
+	}
+	in := Inflows(delta, w)
+	for p, lv := range lambda {
+		iv, ok := in[p.Y]
+		if !ok {
+			iv = new(big.Rat)
+		}
+		if iv.Cmp(lv) < 0 {
+			return fmt.Errorf("flow: inflow(%v) = %v < λ = %v", p.Y, iv, lv)
+		}
+	}
+	for z, iv := range in {
+		if z == 0 {
+			continue
+		}
+		if iv.Cmp(lambda.Get(Marginal(z))) < 0 {
+			return fmt.Errorf("flow: inflow(%v) = %v < λ = %v", z, iv, lambda.Get(Marginal(z)))
+		}
+	}
+	return nil
+}
+
+// Tighten raises µ_{∅,Z} to make every inflow equality hold exactly
+// (Definition 5.10): whenever inflow(Z) > λ_Z the surplus is drained
+// through the monotonicity multiplier µ_{∅,Z}, which only lowers
+// inflow(Z). The witness is modified in place.
+func Tighten(lambda, delta Vec, w *Witness) {
+	in := Inflows(delta, w)
+	zs := make([]bitset.Set, 0, len(in))
+	for z := range in {
+		zs = append(zs, z)
+	}
+	sort.Slice(zs, func(i, j int) bool { return zs[i] < zs[j] })
+	for _, z := range zs {
+		if z == 0 {
+			continue
+		}
+		surplus := new(big.Rat).Sub(in[z], lambda.Get(Marginal(z)))
+		if surplus.Sign() > 0 {
+			p := Pair{X: 0, Y: z}
+			r, ok := w.Mu[p]
+			if !ok {
+				r = new(big.Rat)
+				w.Mu[p] = r
+			}
+			r.Add(r, surplus)
+		}
+	}
+}
+
+// FindWitness searches for a witness (σ, µ) over the elemental Shannon
+// inequalities certifying that 〈λ,h〉 ≤ 〈δ,h〉 is a Shannon flow inequality
+// on [n]. Because the elemental inequalities generate Γn, a witness exists
+// iff the inequality is valid (Farkas / Proposition 5.4); the witness is
+// obtained by exact LP, minimizing ‖σ‖₁ + ‖µ‖₁ to keep proof sequences
+// short. Returns an error when the inequality is not valid.
+func FindWitness(n int, lambda, delta Vec) (*Witness, error) {
+	type sigVar struct {
+		s    bitset.Set
+		i, j int
+	}
+	type muVar struct {
+		x bitset.Set
+		i int
+	}
+	var sigs []sigVar
+	var mus []muVar
+	full := bitset.Full(n)
+	for s := bitset.Set(0); s <= full; s++ {
+		for i := 0; i < n; i++ {
+			if s.Contains(i) {
+				continue
+			}
+			mus = append(mus, muVar{x: s, i: i})
+			for j := i + 1; j < n; j++ {
+				if s.Contains(j) {
+					continue
+				}
+				sigs = append(sigs, sigVar{s: s, i: i, j: j})
+			}
+		}
+	}
+	nv := len(sigs) + len(mus)
+	prob := lp.NewProblem(nv, false)
+	one := big.NewRat(1, 1)
+	for v := 0; v < nv; v++ {
+		prob.SetObj(v, one)
+	}
+	// Row per Z: inflow(Z) ≥ λ_Z, with the δ part moved to the RHS.
+	rows := map[bitset.Set]map[int]*big.Rat{}
+	addCoef := func(z bitset.Set, v int, c int64) {
+		if z == 0 {
+			return
+		}
+		row, ok := rows[z]
+		if !ok {
+			row = map[int]*big.Rat{}
+			rows[z] = row
+		}
+		r, ok := row[v]
+		if !ok {
+			r = new(big.Rat)
+			row[v] = r
+		}
+		r.Add(r, big.NewRat(c, 1))
+	}
+	for v, sv := range sigs {
+		i, j := sv.s.Add(sv.i), sv.s.Add(sv.j)
+		addCoef(i.Intersect(j), v, 1)
+		addCoef(i.Union(j), v, 1)
+		addCoef(i, v, -1)
+		addCoef(j, v, -1)
+	}
+	for v, mv := range mus {
+		x, y := mv.x, mv.x.Add(mv.i)
+		addCoef(x, len(sigs)+v, 1)
+		addCoef(y, len(sigs)+v, -1)
+	}
+	rhs := map[bitset.Set]*big.Rat{}
+	setRHS := func(z bitset.Set, v *big.Rat) {
+		r, ok := rhs[z]
+		if !ok {
+			r = new(big.Rat)
+			rhs[z] = r
+		}
+		r.Add(r, v)
+	}
+	for p, v := range lambda {
+		setRHS(p.Y, v)
+	}
+	for p, v := range delta {
+		setRHS(p.Y, new(big.Rat).Neg(v))
+		if p.X != 0 {
+			setRHS(p.X, v)
+		}
+	}
+	for z := bitset.Set(1); z <= full; z++ {
+		row := rows[z]
+		if row == nil {
+			row = map[int]*big.Rat{}
+		}
+		b, ok := rhs[z]
+		if !ok {
+			b = new(big.Rat)
+		}
+		// Skip trivially satisfied empty rows with b ≤ 0.
+		if len(row) == 0 && b.Sign() <= 0 {
+			continue
+		}
+		prob.AddConstraint(row, lp.Ge, b)
+	}
+	sol, err := prob.Solve()
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, fmt.Errorf("flow: no witness exists (LP %v): inequality is not a Shannon flow inequality", sol.Status)
+	}
+	w := NewWitness()
+	for v, sv := range sigs {
+		if sol.X[v].Sign() > 0 {
+			w.Sigma[Sig(sv.s.Add(sv.i), sv.s.Add(sv.j))] = new(big.Rat).Set(sol.X[v])
+		}
+	}
+	for v, mv := range mus {
+		if sol.X[len(sigs)+v].Sign() > 0 {
+			w.Mu[Pair{X: mv.x, Y: mv.x.Add(mv.i)}] = new(big.Rat).Set(sol.X[len(sigs)+v])
+		}
+	}
+	return w, nil
+}

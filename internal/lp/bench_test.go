@@ -1,0 +1,70 @@
+package lp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkSimplexFractionalCover solves a mid-size covering LP.
+func BenchmarkSimplexFractionalCover(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const vars, rows = 30, 25
+	one := big.NewRat(1, 1)
+	build := func() *Problem {
+		p := NewProblem(vars, false)
+		for j := 0; j < vars; j++ {
+			p.SetObj(j, big.NewRat(int64(1+rng.Intn(4)), 1))
+		}
+		for i := 0; i < rows; i++ {
+			c := map[int]*big.Rat{i % vars: one}
+			for j := 0; j < vars; j++ {
+				if rng.Intn(3) == 0 {
+					c[j] = one
+				}
+			}
+			p.AddConstraint(c, Ge, one)
+		}
+		return p
+	}
+	probs := make([]*Problem, 8)
+	for i := range probs {
+		probs[i] = build()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := probs[i%len(probs)].Solve()
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("%v %v", sol, err)
+		}
+	}
+}
+
+// BenchmarkSimplexPolymatroidShape mimics the structure of the maximin LPs
+// (many ±1 columns, equality coupling rows) to track the exact-arithmetic
+// cost.
+func BenchmarkSimplexPolymatroidShape(b *testing.B) {
+	one := big.NewRat(1, 1)
+	negOne := big.NewRat(-1, 1)
+	const vars = 120
+	p := NewProblem(vars, false)
+	for j := 0; j < vars; j++ {
+		p.SetObj(j, big.NewRat(int64(1+j%5), int64(1+j%3)))
+	}
+	// Coupling equalities x_{2i} = x_{2i+1} plus a covering row.
+	for i := 0; i+1 < vars; i += 2 {
+		p.AddConstraint(map[int]*big.Rat{i: one, i + 1: negOne}, Eq, new(big.Rat))
+	}
+	cover := map[int]*big.Rat{}
+	for j := 0; j < vars; j++ {
+		cover[j] = one
+	}
+	p.AddConstraint(cover, Ge, big.NewRat(10, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := p.Solve()
+		if err != nil || sol.Status != Optimal {
+			b.Fatalf("%v %v", sol, err)
+		}
+	}
+}

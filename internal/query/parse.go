@@ -1,0 +1,248 @@
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"panda/internal/bitset"
+)
+
+// ParseResult is the outcome of parsing a query file.
+type ParseResult struct {
+	Conj        *Conjunctive // nil if the head is disjunctive
+	Rule        *Disjunctive // always set (a CQ is viewed as its rule)
+	Constraints []DegreeConstraint
+}
+
+// Parse reads the small textual query language used by cmd/panda:
+//
+//	Q(A,B,C,D) :- R(A,B), S(B,C), T(C,D), U(D,A).
+//	T1(A,B,C) v T2(B,C,D) :- R(A,B), S(B,C), T(C,D).
+//	|R| <= 100
+//	deg(R: A,B | A) <= 5
+//	fd(R: A -> B)
+//
+// The head `Q()` denotes a Boolean query. Lines starting with # are
+// comments. Cardinality constraints default to each atom's instance size if
+// omitted (callers decide).
+func Parse(src string) (*ParseResult, error) {
+	res := &ParseResult{}
+	varIndex := map[string]int{}
+	var varNames []string
+	getVar := func(name string) int {
+		if i, ok := varIndex[name]; ok {
+			return i
+		}
+		i := len(varNames)
+		varIndex[name] = i
+		varNames = append(varNames, name)
+		return i
+	}
+	var schema *Schema
+
+	parseVarList := func(list string) (bitset.Set, error) {
+		var s bitset.Set
+		list = strings.TrimSpace(list)
+		if list == "" {
+			return 0, nil
+		}
+		for _, v := range strings.Split(list, ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				return 0, fmt.Errorf("query: empty variable name")
+			}
+			s = s.Add(getVar(v))
+		}
+		return s, nil
+	}
+	parseAtom := func(text string) (string, bitset.Set, error) {
+		open := strings.Index(text, "(")
+		if open < 0 || !strings.HasSuffix(text, ")") {
+			return "", 0, fmt.Errorf("query: malformed atom %q", text)
+		}
+		name := strings.TrimSpace(text[:open])
+		vars, err := parseVarList(text[open+1 : len(text)-1])
+		return name, vars, err
+	}
+
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		line = strings.TrimSuffix(line, ".")
+		switch {
+		case strings.Contains(line, ":-"):
+			if schema != nil {
+				return nil, fmt.Errorf("line %d: multiple rules", ln+1)
+			}
+			parts := strings.SplitN(line, ":-", 2)
+			head, body := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+			// Head: either one atom (CQ) or atoms joined by " v ".
+			var targets []bitset.Set
+			headAtoms := splitAtoms(head, " v ")
+			for _, h := range headAtoms {
+				_, vars, err := parseAtom(h)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				targets = append(targets, vars)
+			}
+			var atoms []Atom
+			for _, a := range splitAtoms(body, ",") {
+				name, vars, err := parseAtom(a)
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln+1, err)
+				}
+				if vars == 0 {
+					return nil, fmt.Errorf("line %d: body atom %s has no variables", ln+1, name)
+				}
+				atoms = append(atoms, Atom{Name: name, Vars: vars})
+			}
+			schema = &Schema{NumVars: len(varNames), Atoms: atoms}
+			if len(headAtoms) == 1 {
+				res.Conj = &Conjunctive{Schema: *schema, Free: targets[0]}
+				res.Rule = res.Conj.AsRule()
+				if targets[0] == 0 { // Boolean: single empty target
+					res.Rule = &Disjunctive{Schema: *schema, Targets: []bitset.Set{0}}
+				}
+			} else {
+				res.Rule = &Disjunctive{Schema: *schema, Targets: targets}
+			}
+		case strings.HasPrefix(line, "|"):
+			// |R| <= 100
+			if schema == nil {
+				return nil, fmt.Errorf("line %d: constraint before rule", ln+1)
+			}
+			rest := strings.TrimPrefix(line, "|")
+			i := strings.Index(rest, "|")
+			if i < 0 {
+				return nil, fmt.Errorf("line %d: malformed cardinality constraint", ln+1)
+			}
+			name := strings.TrimSpace(rest[:i])
+			n, err := parseBound(rest[i+1:])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			g := schema.AtomIndex(name)
+			if g < 0 {
+				return nil, fmt.Errorf("line %d: unknown atom %q", ln+1, name)
+			}
+			res.Constraints = append(res.Constraints, Cardinality(schema.Atoms[g].Vars, n, g))
+		case strings.HasPrefix(line, "deg("):
+			// deg(R: A,B | A) <= 5
+			if schema == nil {
+				return nil, fmt.Errorf("line %d: constraint before rule", ln+1)
+			}
+			inner, bound, err := splitConstraint(line, "deg(")
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			name, spec, ok := strings.Cut(inner, ":")
+			if !ok {
+				return nil, fmt.Errorf("line %d: deg needs 'atom: Y | X'", ln+1)
+			}
+			ypart, xpart, ok := strings.Cut(spec, "|")
+			if !ok {
+				return nil, fmt.Errorf("line %d: deg needs 'Y | X'", ln+1)
+			}
+			y, err := parseVarList(ypart)
+			if err != nil {
+				return nil, err
+			}
+			x, err := parseVarList(xpart)
+			if err != nil {
+				return nil, err
+			}
+			g := schema.AtomIndex(strings.TrimSpace(name))
+			if g < 0 {
+				return nil, fmt.Errorf("line %d: unknown atom %q", ln+1, name)
+			}
+			res.Constraints = append(res.Constraints, Degree(x, y.Union(x), bound, g))
+		case strings.HasPrefix(line, "fd("):
+			// fd(R: A -> B)
+			if schema == nil {
+				return nil, fmt.Errorf("line %d: constraint before rule", ln+1)
+			}
+			inner := strings.TrimSuffix(strings.TrimPrefix(line, "fd("), ")")
+			name, spec, ok := strings.Cut(inner, ":")
+			if !ok {
+				return nil, fmt.Errorf("line %d: fd needs 'atom: X -> Y'", ln+1)
+			}
+			xpart, ypart, ok := strings.Cut(spec, "->")
+			if !ok {
+				return nil, fmt.Errorf("line %d: fd needs 'X -> Y'", ln+1)
+			}
+			x, err := parseVarList(xpart)
+			if err != nil {
+				return nil, err
+			}
+			y, err := parseVarList(ypart)
+			if err != nil {
+				return nil, err
+			}
+			g := schema.AtomIndex(strings.TrimSpace(name))
+			if g < 0 {
+				return nil, fmt.Errorf("line %d: unknown atom %q", ln+1, name)
+			}
+			res.Constraints = append(res.Constraints, FD(x, y, g))
+		default:
+			return nil, fmt.Errorf("line %d: cannot parse %q", ln+1, line)
+		}
+	}
+	if schema == nil {
+		return nil, fmt.Errorf("query: no rule found")
+	}
+	schema.VarNames = varNames
+	res.Rule.Schema.VarNames = varNames
+	res.Rule.Schema.NumVars = len(varNames)
+	if res.Conj != nil {
+		res.Conj.Schema.VarNames = varNames
+		res.Conj.Schema.NumVars = len(varNames)
+	}
+	return res, nil
+}
+
+// splitAtoms splits "R(A,B), S(B,C)" on sep respecting parentheses.
+func splitAtoms(s, sep string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		if depth == 0 && strings.HasPrefix(s[i:], sep) {
+			out = append(out, strings.TrimSpace(s[start:i]))
+			i += len(sep) - 1
+			start = i + 1
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+func splitConstraint(line, prefix string) (inner string, bound int64, err error) {
+	rest := strings.TrimPrefix(line, prefix)
+	i := strings.LastIndex(rest, ")")
+	if i < 0 {
+		return "", 0, fmt.Errorf("missing )")
+	}
+	bound, err = parseBound(rest[i+1:])
+	return rest[:i], bound, err
+}
+
+func parseBound(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	for _, op := range []string{"<=", "≤"} {
+		s = strings.TrimSpace(strings.TrimPrefix(s, op))
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad bound %q", s)
+	}
+	return n, nil
+}

@@ -1,0 +1,67 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"panda/internal/bitset"
+)
+
+func randomRelation(rng *rand.Rand, attrs bitset.Set, n, dom int) *Relation {
+	r := New("B", attrs)
+	k := attrs.Card()
+	row := make([]Value, k)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = Value(rng.Intn(dom))
+		}
+		r.Insert(row)
+	}
+	return r
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	r := randomRelation(rng, bitset.Of(0, 1), 5000, 200)
+	s := randomRelation(rng, bitset.Of(1, 2), 5000, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Join(s)
+	}
+}
+
+func BenchmarkSemijoin(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	r := randomRelation(rng, bitset.Of(0, 1), 10000, 500)
+	s := randomRelation(rng, bitset.Of(1, 2), 10000, 500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Semijoin(s)
+	}
+}
+
+func BenchmarkProject(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	r := randomRelation(rng, bitset.Of(0, 1, 2), 20000, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Project(bitset.Of(0, 2))
+	}
+}
+
+func BenchmarkPartitionByDegree(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	r := New("R", bitset.Of(0, 1))
+	// Zipf-ish skew to exercise multiple buckets.
+	for i := 0; i < 20000; i++ {
+		x := rng.Intn(100)
+		if rng.Intn(4) == 0 {
+			x = 0
+		}
+		r.Insert([]Value{Value(x), Value(rng.Intn(5000))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.PartitionByDegree(bitset.Of(0, 1), bitset.Of(0))
+	}
+}

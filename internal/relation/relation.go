@@ -1,0 +1,356 @@
+// Package relation implements the in-memory relational substrate used by
+// PANDA and the baseline evaluators: set-semantics relations over integer
+// domains with natural join, projection, semijoin, union, degree statistics
+// (Definition 2.10) and the heavy/light degree-bucket partitioning of
+// Lemma 6.1.
+package relation
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"panda/internal/bitset"
+)
+
+// Value is a single attribute value.
+type Value = int64
+
+// Relation is a finite relation with set semantics. Attribute order inside
+// tuples follows the sorted order of the schema's variable indices.
+type Relation struct {
+	Name  string
+	attrs bitset.Set
+	cols  []int // sorted variable ids; tuple positions follow this order
+	rows  [][]Value
+	seen  map[string]struct{}
+}
+
+// New returns an empty relation with the given schema.
+func New(name string, attrs bitset.Set) *Relation {
+	return &Relation{
+		Name:  name,
+		attrs: attrs,
+		cols:  attrs.Vars(),
+		seen:  map[string]struct{}{},
+	}
+}
+
+// Attrs returns the relation's schema.
+func (r *Relation) Attrs() bitset.Set { return r.attrs }
+
+// Cols returns the tuple layout: variable ids in tuple-position order.
+func (r *Relation) Cols() []int { return r.cols }
+
+// Size returns the number of distinct tuples.
+func (r *Relation) Size() int { return len(r.rows) }
+
+// Rows exposes the tuples; callers must not mutate them.
+func (r *Relation) Rows() [][]Value { return r.rows }
+
+func key(t []Value) string {
+	b := make([]byte, 8*len(t))
+	for i, v := range t {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	return string(b)
+}
+
+// Insert adds a tuple given in column order (sorted variable ids);
+// duplicates are ignored. The slice is copied.
+func (r *Relation) Insert(t []Value) {
+	if len(t) != len(r.cols) {
+		panic(fmt.Sprintf("relation %s: tuple arity %d, want %d", r.Name, len(t), len(r.cols)))
+	}
+	k := key(t)
+	if _, dup := r.seen[k]; dup {
+		return
+	}
+	r.seen[k] = struct{}{}
+	r.rows = append(r.rows, append([]Value(nil), t...))
+}
+
+// InsertMap adds a tuple given as a variable→value assignment covering the
+// schema.
+func (r *Relation) InsertMap(m map[int]Value) {
+	t := make([]Value, len(r.cols))
+	for i, c := range r.cols {
+		v, ok := m[c]
+		if !ok {
+			panic(fmt.Sprintf("relation %s: missing attribute %d", r.Name, c))
+		}
+		t[i] = v
+	}
+	r.Insert(t)
+}
+
+// Contains reports whether the tuple (in column order) is present.
+func (r *Relation) Contains(t []Value) bool {
+	_, ok := r.seen[key(t)]
+	return ok
+}
+
+// positions returns the tuple positions of the attributes in x (which must
+// be a subset of the schema), in sorted-variable order.
+func (r *Relation) positions(x bitset.Set) []int {
+	if !x.SubsetOf(r.attrs) {
+		panic(fmt.Sprintf("relation %s: %v not in schema %v", r.Name, x, r.attrs))
+	}
+	pos := make([]int, 0, x.Card())
+	for i, c := range r.cols {
+		if x.Contains(c) {
+			pos = append(pos, i)
+		}
+	}
+	return pos
+}
+
+func subtuple(t []Value, pos []int) []Value {
+	s := make([]Value, len(pos))
+	for i, p := range pos {
+		s[i] = t[p]
+	}
+	return s
+}
+
+// Project returns Π_X(r) for X ⊆ schema.
+func (r *Relation) Project(x bitset.Set) *Relation {
+	out := New(fmt.Sprintf("Π%v(%s)", x, r.Name), x)
+	pos := r.positions(x)
+	buf := make([]Value, len(pos))
+	for _, t := range r.rows {
+		for i, p := range pos {
+			buf[i] = t[p]
+		}
+		out.Insert(buf)
+	}
+	return out
+}
+
+// index groups row indices by their key on the attribute set x.
+func (r *Relation) index(x bitset.Set) map[string][]int {
+	pos := r.positions(x)
+	idx := make(map[string][]int, len(r.rows))
+	buf := make([]Value, len(pos))
+	for i, t := range r.rows {
+		for j, p := range pos {
+			buf[j] = t[p]
+		}
+		k := key(buf)
+		idx[k] = append(idx[k], i)
+	}
+	return idx
+}
+
+// Join returns the natural join r ⋈ s.
+func (r *Relation) Join(s *Relation) *Relation {
+	common := r.attrs.Intersect(s.attrs)
+	out := New(fmt.Sprintf("(%s⋈%s)", r.Name, s.Name), r.attrs.Union(s.attrs))
+	// Build on the smaller side.
+	build, probe := s, r
+	if r.Size() < s.Size() {
+		build, probe = r, s
+	}
+	idx := build.index(common)
+	probePos := probe.positions(common)
+	// Output tuple layout: union schema, sorted ids; map positions.
+	outCols := out.cols
+	fromProbe := make([]int, len(outCols))
+	fromBuild := make([]int, len(outCols))
+	for i, c := range outCols {
+		fromProbe[i], fromBuild[i] = -1, -1
+		for j, pc := range probe.cols {
+			if pc == c {
+				fromProbe[i] = j
+			}
+		}
+		for j, bc := range build.cols {
+			if bc == c {
+				fromBuild[i] = j
+			}
+		}
+	}
+	buf := make([]Value, len(probePos))
+	outBuf := make([]Value, len(outCols))
+	for _, pt := range probe.rows {
+		for j, p := range probePos {
+			buf[j] = pt[p]
+		}
+		for _, bi := range idx[key(buf)] {
+			bt := build.rows[bi]
+			for i := range outCols {
+				if fromProbe[i] >= 0 {
+					outBuf[i] = pt[fromProbe[i]]
+				} else {
+					outBuf[i] = bt[fromBuild[i]]
+				}
+			}
+			out.Insert(outBuf)
+		}
+	}
+	return out
+}
+
+// Semijoin returns r ⋉ s: tuples of r matching some tuple of s on the
+// common attributes.
+func (r *Relation) Semijoin(s *Relation) *Relation {
+	common := r.attrs.Intersect(s.attrs)
+	sKeys := map[string]struct{}{}
+	sPos := s.positions(common)
+	for _, t := range s.rows {
+		sKeys[key(subtuple(t, sPos))] = struct{}{}
+	}
+	rPos := r.positions(common)
+	out := New(fmt.Sprintf("(%s⋉%s)", r.Name, s.Name), r.attrs)
+	for _, t := range r.rows {
+		if _, ok := sKeys[key(subtuple(t, rPos))]; ok {
+			out.Insert(t)
+		}
+	}
+	return out
+}
+
+// Union returns r ∪ s; both must share the schema.
+func (r *Relation) Union(s *Relation) *Relation {
+	if r.attrs != s.attrs {
+		panic(fmt.Sprintf("union schema mismatch: %v vs %v", r.attrs, s.attrs))
+	}
+	out := New(fmt.Sprintf("(%s∪%s)", r.Name, s.Name), r.attrs)
+	for _, t := range r.rows {
+		out.Insert(t)
+	}
+	for _, t := range s.rows {
+		out.Insert(t)
+	}
+	return out
+}
+
+// Degree returns deg_r(Y|X) = max over X-tuples t of |Π_Y(σ_{X=t}(r))|,
+// per Definition 2.10, with X ⊆ Y ⊆ schema. Degree(Y, ∅) = |Π_Y(r)|.
+func (r *Relation) Degree(y, x bitset.Set) int {
+	if !x.SubsetOf(y) || !y.SubsetOf(r.attrs) {
+		panic(fmt.Sprintf("relation %s: bad degree query Y=%v X=%v schema=%v", r.Name, y, x, r.attrs))
+	}
+	xPos := r.positions(x)
+	yPos := r.positions(y)
+	groups := map[string]map[string]struct{}{}
+	for _, t := range r.rows {
+		xk := key(subtuple(t, xPos))
+		g, ok := groups[xk]
+		if !ok {
+			g = map[string]struct{}{}
+			groups[xk] = g
+		}
+		g[key(subtuple(t, yPos))] = struct{}{}
+	}
+	best := 0
+	for _, g := range groups {
+		if len(g) > best {
+			best = len(g)
+		}
+	}
+	return best
+}
+
+// PartitionByDegree implements Lemma 6.1: it splits Π_Y(r) into at most
+// 2·log₂|Π_Y(r)|+2 buckets such that in bucket j,
+// |Π_X(bucket)| · max-degree(Y|X within bucket) ≤ |Π_Y(r)|.
+// Bucket j collects X-tuples whose degree lies in [2^j, 2^{j+1}), halved
+// again by X-value so that the product bound holds.
+func (r *Relation) PartitionByDegree(y, x bitset.Set) []*Relation {
+	t := r.Project(y)
+	xPos := t.positions(x)
+	// Group rows of t by X-value.
+	groups := map[string][]int{}
+	var orderKeys []string
+	for i, row := range t.rows {
+		k := key(subtuple(row, xPos))
+		if _, ok := groups[k]; !ok {
+			orderKeys = append(orderKeys, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	// log-degree bucket of each group.
+	buckets := map[int][][]int{}
+	for _, k := range orderKeys {
+		g := groups[k]
+		// Bucket j holds X-values whose degree lies in [2^j, 2^{j+1}).
+		j := 0
+		for (1 << uint(j+1)) <= len(g) {
+			j++
+		}
+		buckets[j] = append(buckets[j], g)
+	}
+	var out []*Relation
+	var js []int
+	for j := range buckets {
+		js = append(js, j)
+	}
+	sort.Ints(js)
+	for _, j := range js {
+		gs := buckets[j]
+		// Split the groups of this bucket into two halves by X-value count
+		// so each half has ≤ ⌈|groups|/2⌉ distinct X-values.
+		half := (len(gs) + 1) / 2
+		for part := 0; part < 2; part++ {
+			lo, hi := 0, half
+			if part == 1 {
+				lo, hi = half, len(gs)
+			}
+			if lo >= hi {
+				continue
+			}
+			sub := New(fmt.Sprintf("%s[deg2^%d.%d]", r.Name, j, part), y)
+			for _, g := range gs[lo:hi] {
+				for _, ri := range g {
+					sub.Insert(t.rows[ri])
+				}
+			}
+			out = append(out, sub)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy with a new name.
+func (r *Relation) Clone(name string) *Relation {
+	out := New(name, r.attrs)
+	for _, t := range r.rows {
+		out.Insert(t)
+	}
+	return out
+}
+
+// SortedRows returns the tuples sorted lexicographically (for deterministic
+// comparison in tests and reports).
+func (r *Relation) SortedRows() [][]Value {
+	out := make([][]Value, len(r.rows))
+	copy(out, r.rows)
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// Equal reports whether two relations hold the same tuple set over the same
+// schema.
+func (r *Relation) Equal(s *Relation) bool {
+	if r.attrs != s.attrs || r.Size() != s.Size() {
+		return false
+	}
+	for _, t := range s.rows {
+		if !r.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Relation) String() string {
+	return fmt.Sprintf("%s(%v)[%d tuples]", r.Name, r.attrs, r.Size())
+}

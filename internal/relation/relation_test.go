@@ -1,0 +1,265 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+
+	"panda/internal/bitset"
+)
+
+func pairs(name string, a, b int, vals [][2]Value) *Relation {
+	r := New(name, bitset.Of(a, b))
+	for _, v := range vals {
+		if a < b {
+			r.Insert([]Value{v[0], v[1]})
+		} else {
+			r.Insert([]Value{v[1], v[0]})
+		}
+	}
+	return r
+}
+
+func TestInsertDedup(t *testing.T) {
+	r := New("R", bitset.Of(0, 1))
+	r.Insert([]Value{1, 2})
+	r.Insert([]Value{1, 2})
+	r.Insert([]Value{2, 1})
+	if r.Size() != 2 {
+		t.Fatalf("Size = %d, want 2 (set semantics)", r.Size())
+	}
+	if !r.Contains([]Value{1, 2}) || r.Contains([]Value{3, 3}) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestInsertMap(t *testing.T) {
+	r := New("R", bitset.Of(2, 5))
+	r.InsertMap(map[int]Value{5: 7, 2: 3})
+	if !r.Contains([]Value{3, 7}) {
+		t.Fatal("InsertMap stored wrong layout (cols must be sorted)")
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := pairs("R", 0, 1, [][2]Value{{1, 10}, {1, 20}, {2, 10}})
+	p := r.Project(bitset.Of(0))
+	if p.Size() != 2 || !p.Contains([]Value{1}) || !p.Contains([]Value{2}) {
+		t.Fatalf("projection wrong: %v", p.SortedRows())
+	}
+	if p.Attrs() != bitset.Of(0) {
+		t.Fatalf("projection schema %v", p.Attrs())
+	}
+	// Projection onto the full schema is identity.
+	if !r.Project(r.Attrs()).Equal(r) {
+		t.Fatal("full projection should equal r")
+	}
+}
+
+func TestJoinBasic(t *testing.T) {
+	r := pairs("R", 0, 1, [][2]Value{{1, 2}, {2, 3}})
+	s := pairs("S", 1, 2, [][2]Value{{2, 5}, {2, 6}, {9, 9}})
+	j := r.Join(s)
+	if j.Attrs() != bitset.Of(0, 1, 2) {
+		t.Fatalf("join schema %v", j.Attrs())
+	}
+	want := [][]Value{{1, 2, 5}, {1, 2, 6}}
+	if j.Size() != 2 {
+		t.Fatalf("join = %v", j.SortedRows())
+	}
+	for _, w := range want {
+		if !j.Contains(w) {
+			t.Fatalf("missing %v in %v", w, j.SortedRows())
+		}
+	}
+}
+
+func TestJoinDisjointSchemasIsCrossProduct(t *testing.T) {
+	r := pairs("R", 0, 1, [][2]Value{{1, 2}, {3, 4}})
+	s := New("S", bitset.Of(2))
+	s.Insert([]Value{7})
+	s.Insert([]Value{8})
+	j := r.Join(s)
+	if j.Size() != 4 {
+		t.Fatalf("cross product size %d, want 4", j.Size())
+	}
+}
+
+func TestJoinSameSchemaIsIntersection(t *testing.T) {
+	r := pairs("R", 0, 1, [][2]Value{{1, 2}, {3, 4}})
+	s := pairs("S", 0, 1, [][2]Value{{1, 2}, {5, 6}})
+	j := r.Join(s)
+	if j.Size() != 1 || !j.Contains([]Value{1, 2}) {
+		t.Fatalf("intersection = %v", j.SortedRows())
+	}
+}
+
+func TestSemijoin(t *testing.T) {
+	r := pairs("R", 0, 1, [][2]Value{{1, 2}, {2, 3}, {4, 5}})
+	s := New("S", bitset.Of(1))
+	s.Insert([]Value{2})
+	s.Insert([]Value{5})
+	out := r.Semijoin(s)
+	if out.Size() != 2 || !out.Contains([]Value{1, 2}) || !out.Contains([]Value{4, 5}) {
+		t.Fatalf("semijoin = %v", out.SortedRows())
+	}
+}
+
+func TestUnion(t *testing.T) {
+	r := pairs("R", 0, 1, [][2]Value{{1, 2}})
+	s := pairs("S", 0, 1, [][2]Value{{1, 2}, {3, 4}})
+	u := r.Union(s)
+	if u.Size() != 2 {
+		t.Fatalf("union size %d", u.Size())
+	}
+}
+
+func TestDegree(t *testing.T) {
+	r := pairs("R", 0, 1, [][2]Value{{1, 10}, {1, 20}, {1, 30}, {2, 10}})
+	if d := r.Degree(bitset.Of(0, 1), bitset.Of(0)); d != 3 {
+		t.Fatalf("deg(01|0) = %d, want 3", d)
+	}
+	if d := r.Degree(bitset.Of(0, 1), bitset.Set(0)); d != 4 {
+		t.Fatalf("deg(01|∅) = %d, want 4 (= |R|)", d)
+	}
+	if d := r.Degree(bitset.Of(0), bitset.Set(0)); d != 2 {
+		t.Fatalf("deg(0|∅) = %d, want 2", d)
+	}
+}
+
+// TestPartitionByDegree checks Lemma 6.1: the buckets partition Π_Y(r) and
+// in each bucket |Π_X| · deg(Y|X) stays within a small constant of |Π_Y(r)|.
+func TestPartitionByDegree(t *testing.T) {
+	r := New("R", bitset.Of(0, 1))
+	// Skewed: value 1 has degree 16, others degree 1.
+	for i := 0; i < 16; i++ {
+		r.Insert([]Value{1, Value(100 + i)})
+	}
+	for i := 0; i < 10; i++ {
+		r.Insert([]Value{Value(2 + i), 0})
+	}
+	y, x := bitset.Of(0, 1), bitset.Of(0)
+	parts := r.PartitionByDegree(y, x)
+	total := 0
+	for _, p := range parts {
+		total += p.Size()
+		nx := p.Project(x).Size()
+		dg := p.Degree(y, x)
+		if nx*dg > 2*r.Size() {
+			t.Fatalf("bucket %s: |Πx|=%d · deg=%d > 2·|R|=%d", p.Name, nx, dg, 2*r.Size())
+		}
+	}
+	if total != r.Size() {
+		t.Fatalf("buckets cover %d tuples, want %d", total, r.Size())
+	}
+	// Heavy value 1 and light values must land in different buckets.
+	if len(parts) < 2 {
+		t.Fatalf("expected ≥ 2 buckets, got %d", len(parts))
+	}
+}
+
+func TestPartitionByDegreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		r := New("R", bitset.Of(0, 1))
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			r.Insert([]Value{Value(rng.Intn(12)), Value(rng.Intn(40))})
+		}
+		y, x := bitset.Of(0, 1), bitset.Of(0)
+		parts := r.PartitionByDegree(y, x)
+		total := 0
+		seen := map[string]bool{}
+		for _, p := range parts {
+			total += p.Size()
+			for _, row := range p.Rows() {
+				k := ""
+				for _, v := range row {
+					k += string(rune(v)) + ","
+				}
+				if seen[k] {
+					t.Fatalf("tuple %v in two buckets", row)
+				}
+				seen[k] = true
+			}
+			nx := p.Project(x).Size()
+			dg := p.Degree(y, x)
+			if nx*dg > 2*r.Size() {
+				t.Fatalf("trial %d: bucket violates Lemma 6.1 bound: %d·%d > 2·%d",
+					trial, nx, dg, r.Size())
+			}
+		}
+		if total != r.Size() {
+			t.Fatalf("trial %d: buckets cover %d ≠ %d", trial, total, r.Size())
+		}
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	r := pairs("R", 0, 1, [][2]Value{{1, 2}, {3, 4}})
+	c := r.Clone("C")
+	if !r.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.Insert([]Value{5, 6})
+	if r.Equal(c) {
+		t.Fatal("clone insert leaked into original")
+	}
+}
+
+// TestJoinCommutative: r ⋈ s == s ⋈ r on random inputs.
+func TestJoinCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		r := New("R", bitset.Of(0, 1))
+		s := New("S", bitset.Of(1, 2))
+		for i := 0; i < 30; i++ {
+			r.Insert([]Value{Value(rng.Intn(5)), Value(rng.Intn(5))})
+			s.Insert([]Value{Value(rng.Intn(5)), Value(rng.Intn(5))})
+		}
+		if !r.Join(s).Equal(s.Join(r)) {
+			t.Fatal("join not commutative")
+		}
+	}
+}
+
+// TestJoinAgainstNestedLoop validates the hash join against a brute-force
+// nested-loop join on random instances.
+func TestJoinAgainstNestedLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		r := New("R", bitset.Of(0, 1, 2))
+		s := New("S", bitset.Of(1, 2, 3))
+		for i := 0; i < 40; i++ {
+			r.Insert([]Value{Value(rng.Intn(4)), Value(rng.Intn(4)), Value(rng.Intn(4))})
+			s.Insert([]Value{Value(rng.Intn(4)), Value(rng.Intn(4)), Value(rng.Intn(4))})
+		}
+		j := r.Join(s)
+		want := New("W", bitset.Of(0, 1, 2, 3))
+		for _, rt := range r.Rows() {
+			for _, st := range s.Rows() {
+				// r cols: 0,1,2; s cols: 1,2,3.
+				if rt[1] == st[0] && rt[2] == st[1] {
+					want.Insert([]Value{rt[0], rt[1], rt[2], st[2]})
+				}
+			}
+		}
+		if !j.Equal(want) {
+			t.Fatalf("trial %d: hash join %d tuples, nested loop %d", trial, j.Size(), want.Size())
+		}
+	}
+}
+
+func TestSemijoinIsProjectionOfJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 20; trial++ {
+		r := New("R", bitset.Of(0, 1))
+		s := New("S", bitset.Of(1, 2))
+		for i := 0; i < 25; i++ {
+			r.Insert([]Value{Value(rng.Intn(4)), Value(rng.Intn(4))})
+			s.Insert([]Value{Value(rng.Intn(4)), Value(rng.Intn(4))})
+		}
+		if !r.Semijoin(s).Equal(r.Join(s).Project(r.Attrs())) {
+			t.Fatal("semijoin ≠ Π(join)")
+		}
+	}
+}
