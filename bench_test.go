@@ -340,6 +340,60 @@ func BenchmarkTheorem59ProofConstruction(b *testing.B) {
 	}
 }
 
+// BenchmarkPreparedVsUnprepared demonstrates planning amortization on the
+// triangle and four-cycle workloads: the unprepared path re-pays the LP
+// solves and proof construction on every evaluation, the prepared path pays
+// once, and a cache-hit Prepare costs only signature canonicalization.
+func BenchmarkPreparedVsUnprepared(b *testing.B) {
+	workloads := []struct {
+		name string
+		q    *Query
+		seed int64
+	}{
+		{"triangle", workload.TriangleQuery(), 3},
+		{"four-cycle", workload.FourCycleQuery(), 7},
+	}
+	for _, w := range workloads {
+		ins := RandomInstance(w.seed, &w.q.Schema, 300, 30)
+		b.Run(w.name+"/unprepared", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := EvalFhtw(w.q, ins, nil, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.name+"/prepared", func(b *testing.B) {
+			pl := NewPlanner(8)
+			pq, err := pl.PrepareForMode(w.q, ins, nil, ModeFhtw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := pq.Eval(ins, Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(w.name+"/prepare-hit", func(b *testing.B) {
+			pl := NewPlanner(8)
+			if _, err := pl.PrepareForMode(w.q, ins, nil, ModeFhtw); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.PrepareForMode(w.q, ins, nil, ModeFhtw); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st := pl.Stats()
+			if st.Hits != uint64(b.N) {
+				b.Fatalf("expected %d cache hits, got %v", b.N, st)
+			}
+		})
+	}
+}
+
 // BenchmarkWCOJTriangle compares the generic worst-case-optimal join with
 // PANDA on the triangle query (both are Õ(N^{3/2}) here).
 func BenchmarkWCOJTriangle(b *testing.B) {

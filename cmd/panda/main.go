@@ -8,6 +8,7 @@
 //	panda widths  <query-file>
 //	panda eval    <query-file> <data-dir>   # data-dir holds <Atom>.csv files
 //	panda explain <query-file>              # proof sequence / plan trace
+//	panda plan    <query-file>              # reified prepared-query plan
 //
 // The query language (see internal/query):
 //
@@ -20,6 +21,7 @@ package main
 
 import (
 	"fmt"
+	"hash/fnv"
 	"log"
 	"os"
 	"path/filepath"
@@ -57,6 +59,8 @@ func main() {
 		cmdEval(res, os.Args[3])
 	case "explain":
 		cmdExplain(res)
+	case "plan":
+		cmdPlan(res)
 	default:
 		usage()
 	}
@@ -67,8 +71,133 @@ func usage() {
   panda bounds  <query-file>
   panda widths  <query-file>
   panda eval    <query-file> <data-dir>
-  panda explain <query-file>`)
+  panda explain <query-file>
+  panda plan    <query-file>`)
 	os.Exit(2)
+}
+
+// defaultCard is assumed for atoms with no declared cardinality so the
+// planning LPs are bounded; `panda plan` reports the assumption.
+const defaultCard = 1024
+
+// completeConstraints appends |R| ≤ defaultCard for every atom lacking a
+// cardinality constraint, returning the completed set and the atom names
+// the default was assumed for.
+func completeConstraints(s *query.Schema, dcs []panda.Constraint) ([]panda.Constraint, []string) {
+	have := map[panda.Set]bool{}
+	for _, c := range dcs {
+		if c.IsCardinality() {
+			have[c.Y] = true
+		}
+	}
+	out := append([]panda.Constraint(nil), dcs...)
+	var assumed []string
+	for i, a := range s.Atoms {
+		if !have[a.Vars] {
+			out = append(out, panda.Cardinality(a.Vars, defaultCard, i))
+			assumed = append(assumed, a.Name)
+		}
+	}
+	return out, assumed
+}
+
+func fmtStep(s *query.Schema, st panda.ProofStep) string {
+	w := st.W.RatString()
+	switch st.Kind {
+	case panda.StepSubmodularity:
+		return fmt.Sprintf("%s·s[%s,%s]", w, s.VarLabel(st.A), s.VarLabel(st.B))
+	case panda.StepMonotonicity:
+		return fmt.Sprintf("%s·m[%s⊂%s]", w, s.VarLabel(st.A), s.VarLabel(st.B))
+	case panda.StepComposition:
+		return fmt.Sprintf("%s·c[%s,%s]", w, s.VarLabel(st.A), s.VarLabel(st.B))
+	default:
+		return fmt.Sprintf("%s·d[%s,%s]", w, s.VarLabel(st.B), s.VarLabel(st.A))
+	}
+}
+
+func printRulePlan(s *query.Schema, idx int, rp *panda.RulePlan) {
+	var targets []string
+	for _, b := range rp.Targets {
+		targets = append(targets, "T_"+s.VarLabel(b))
+	}
+	fmt.Printf("rule %d: %s\n", idx, strings.Join(targets, " ∨ "))
+	if rp.Trivial {
+		fmt.Println("  trivial: ∅ target, answered by the unit table")
+		return
+	}
+	fmt.Printf("  bound: 2^%s\n", rp.Bound.FloatString(4))
+	fmt.Printf("  proof sequence (%d steps):\n", len(rp.Seq))
+	for _, st := range rp.Seq {
+		fmt.Printf("    %s\n", fmtStep(s, st))
+	}
+}
+
+func cmdPlan(res *query.ParseResult) {
+	s := &res.Rule.Schema
+	dcs, assumed := completeConstraints(s, res.Constraints)
+	if len(assumed) > 0 {
+		fmt.Printf("# no cardinality declared for %s; assuming ≤ %d\n",
+			strings.Join(assumed, ", "), defaultCard)
+	}
+	if res.Conj == nil {
+		rp, err := panda.PrepareRule(res.Rule, dcs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("prepared disjunctive rule:")
+		printRulePlan(s, 0, rp)
+		return
+	}
+	pq, err := panda.Prepare(res.Conj, dcs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := pq.Plan()
+	widthName := map[panda.PlanMode]string{
+		panda.ModeFull: "polymatroid bound",
+		panda.ModeFhtw: "da-fhtw",
+		panda.ModeSubw: "da-subw",
+	}[p.Mode]
+	fmt.Printf("mode      : %v\n", p.Mode)
+	fmt.Printf("signature : %x (%d-byte canonical key)\n", keyDigest(p.Key), len(p.Key))
+	fmt.Printf("width     : %s = %s (log₂ units)\n", widthName, p.Width.FloatString(4))
+	if p.Chosen >= 0 {
+		td := p.TDs[p.Chosen]
+		fmt.Printf("tree decomposition (%d of %d enumerated):\n", p.Chosen+1, len(p.TDs))
+		for i, b := range td.Bags {
+			parent := "root"
+			if td.Parent[i] >= 0 {
+				parent = fmt.Sprintf("child of %s", s.VarLabel(td.Bags[td.Parent[i]]))
+			}
+			fmt.Printf("  bag %s (%s)\n", s.VarLabel(b), parent)
+		}
+	} else if len(p.Transversals) > 0 {
+		fmt.Printf("bag universe: %d bags across %d tree decompositions, %d minimal transversals\n",
+			len(p.Bags), len(p.TDs), len(p.Transversals))
+	}
+	covers, err := p.Covers()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, cov := range covers {
+		var terms []string
+		for j, w := range cov.Weights {
+			if w.Sign() != 0 {
+				terms = append(terms, fmt.Sprintf("%s=%s", s.Atoms[j].Name, w.RatString()))
+			}
+		}
+		fmt.Printf("cover %s: ρ* = %s  [%s]\n", s.VarLabel(cov.Bag), cov.Value.RatString(), strings.Join(terms, " "))
+	}
+	for i, rp := range p.Rules {
+		printRulePlan(s, i, rp)
+	}
+}
+
+// keyDigest is a short stable digest for displaying signature keys.
+func keyDigest(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
 }
 
 func cmdBounds(res *query.ParseResult) {

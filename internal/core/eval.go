@@ -6,29 +6,24 @@ import (
 
 	"panda/internal/bitset"
 	"panda/internal/flow"
-	"panda/internal/hypergraph"
+	"panda/internal/plan"
 	"panda/internal/query"
 	"panda/internal/relation"
 	"panda/internal/yannakakis"
 )
 
-// toFlowDCs converts query constraints into the flow package's form,
-// validating shapes and attaching guards.
-func toFlowDCs(s *query.Schema, dcs []query.DegreeConstraint) ([]flow.DC, error) {
-	out := make([]flow.DC, len(dcs))
-	for i, c := range dcs {
-		if err := c.Validate(s.NumVars); err != nil {
-			return nil, err
-		}
-		out[i] = flow.DC{X: c.X, Y: c.Y, LogN: c.LogN}
-	}
-	return out, nil
-}
+// This file is the data-dependent half of the prepare/execute split: the
+// planning phase (LP solves, proof-sequence construction, decomposition
+// choice) lives in internal/plan and produces a reified plan.Plan; Execute
+// interprets that plan over a concrete instance. EvalDisjunctive, EvalFull,
+// EvalFhtw and EvalSubw are thin wrappers that prepare and execute in one
+// call, preserving their historical signatures and behavior.
 
-// withAtomCardinalities appends (∅, F, |R_F|) for every atom whose exact
+// CompleteConstraints appends (∅, F, |R_F|) for every atom whose exact
 // cardinality constraint is missing — these are always true of the instance
-// and can only tighten the bound.
-func withAtomCardinalities(s *query.Schema, ins *query.Instance, dcs []query.DegreeConstraint) []query.DegreeConstraint {
+// and can only tighten the bound. The result is a complete constraint set
+// suitable for plan.Prepare.
+func CompleteConstraints(s *query.Schema, ins *query.Instance, dcs []query.DegreeConstraint) []query.DegreeConstraint {
 	have := map[bitset.Set]bool{}
 	for _, c := range dcs {
 		if c.IsCardinality() {
@@ -51,73 +46,50 @@ func unitRelation() *relation.Relation {
 	return r
 }
 
-// EvalDisjunctive runs PANDA (Algorithm 1) on a disjunctive datalog rule:
-// it solves the polymatroid bound LP (Lemma 5.2), extracts a witness
-// (Proposition 5.4), constructs a proof sequence (Theorem 5.9), and
-// interprets it over the instance. The returned tables form a model of the
-// rule whose per-table sizes are governed by the bound (Theorem 1.7).
-//
-// Every constraint must be guarded by an atom; callers who only know
-// relation sizes can pass nil dcs (atom cardinalities are always added).
-func EvalDisjunctive(p *query.Disjunctive, ins *query.Instance, dcs []query.DegreeConstraint, opt Options) (*Result, error) {
-	if len(p.Targets) == 0 {
-		return nil, fmt.Errorf("core: rule has no targets")
+// trivialResult is the Section 1.3 answer for a rule with an ∅ target.
+func trivialResult() *Result {
+	return &Result{
+		Tables: map[bitset.Set]*relation.Relation{0: unitRelation()},
+		Bound:  new(big.Rat),
+		Stats:  newStats(),
 	}
-	if len(ins.Relations) != len(p.Atoms) {
-		return nil, fmt.Errorf("core: instance has %d relations for %d atoms", len(ins.Relations), len(p.Atoms))
+}
+
+// ExecuteRule runs the data-dependent phase of one prepared disjunctive
+// rule over an instance: the proof sequence is interpreted step by step by
+// the PANDA engine, with the constraint set bound to the instance's
+// relations as guards. The prepared rule is not mutated, so one rule may be
+// executed concurrently by many goroutines.
+func ExecuteRule(s *query.Schema, pr *plan.PreparedRule, cons []query.DegreeConstraint, ins *query.Instance, opt Options) (*Result, error) {
+	if len(ins.Relations) != len(s.Atoms) {
+		return nil, fmt.Errorf("core: instance has %d relations for %d atoms", len(ins.Relations), len(s.Atoms))
+	}
+	if pr.Trivial {
+		return trivialResult(), nil
 	}
 	stats := newStats()
-	// A target ∅ admits the trivial minimal model {()} (Section 1.3).
-	for _, b := range p.Targets {
-		if b == 0 {
-			return &Result{
-				Tables: map[bitset.Set]*relation.Relation{0: unitRelation()},
-				Bound:  new(big.Rat),
-				Stats:  stats,
-			}, nil
-		}
-	}
-	dcs = withAtomCardinalities(&p.Schema, ins, dcs)
-	for _, c := range dcs {
-		if c.Guard < 0 || c.Guard >= len(ins.Relations) {
-			return nil, fmt.Errorf("core: constraint on %v lacks a guard atom", c.Y)
-		}
-		if !c.Y.SubsetOf(p.Atoms[c.Guard].Vars) {
-			return nil, fmt.Errorf("core: atom %s cannot guard constraint on %v",
-				p.Atoms[c.Guard].Name, c.Y)
-		}
-	}
-	fdcs, err := toFlowDCs(&p.Schema, dcs)
-	if err != nil {
-		return nil, err
-	}
-	res, err := flow.MaximinBound(p.NumVars, fdcs, p.Targets)
-	if err != nil {
-		return nil, err
-	}
-	seq, err := flow.ConstructProof(res.Lambda, res.Delta, res.Witness)
-	if err != nil {
-		return nil, err
-	}
 	e := &engine{
-		n:       p.NumVars,
-		targets: dedupeSets(p.Targets),
-		objLog:  res.Bound,
+		n:       s.NumVars,
+		targets: dedupeSets(pr.Targets),
+		objLog:  pr.Bound,
 		opt:     opt,
 		stats:   stats,
-		schema:  &p.Schema,
+		schema:  s,
 	}
-	e.objFloat, _ = res.Bound.Float64()
+	e.objFloat, _ = pr.Bound.Float64()
 	// Initial frame: constraints with their guards; supports for the δ
 	// coordinates pick the smallest bound among matching constraints.
 	f := &frame{
-		cons:    make([]rtCon, len(dcs)),
+		cons:    make([]rtCon, len(cons)),
 		support: map[flow.Pair]int{},
-		lambda:  res.Lambda.Clone(),
-		delta:   res.Delta.Clone(),
-		seq:     seq,
+		lambda:  pr.Lambda.Clone(),
+		delta:   pr.Delta.Clone(),
+		seq:     pr.Seq,
 	}
-	for i, c := range dcs {
+	for i, c := range cons {
+		if c.Guard < 0 || c.Guard >= len(ins.Relations) {
+			return nil, fmt.Errorf("core: constraint on %v lacks a guard atom", c.Y)
+		}
 		f.cons[i] = rtCon{x: c.X, y: c.Y, logN: c.LogN, guard: ins.Relations[c.Guard]}
 		f.cons[i].nFloat, _ = c.LogN.Float64()
 	}
@@ -138,10 +110,50 @@ func EvalDisjunctive(p *query.Disjunctive, ins *query.Instance, dcs []query.Degr
 	// Present every target, empty when no subproblem delivered it.
 	for _, b := range e.targets {
 		if _, ok := tables[b]; !ok {
-			tables[b] = relation.New(fmt.Sprintf("T_%s", p.VarLabel(b)), b)
+			tables[b] = relation.New(fmt.Sprintf("T_%s", s.VarLabel(b)), b)
 		}
 	}
-	return &Result{Tables: tables, Bound: res.Bound, Stats: stats}, nil
+	return &Result{Tables: tables, Bound: pr.Bound, Stats: stats}, nil
+}
+
+// EvalDisjunctive runs PANDA (Algorithm 1) on a disjunctive datalog rule:
+// it solves the polymatroid bound LP (Lemma 5.2), extracts a witness
+// (Proposition 5.4), constructs a proof sequence (Theorem 5.9), and
+// interprets it over the instance. The returned tables form a model of the
+// rule whose per-table sizes are governed by the bound (Theorem 1.7).
+//
+// Every constraint must be guarded by an atom; callers who only know
+// relation sizes can pass nil dcs (atom cardinalities are always added).
+// This is the one-shot prepare+execute path; callers with repeated traffic
+// should use plan.PrepareRule once and ExecuteRule per instance.
+func EvalDisjunctive(p *query.Disjunctive, ins *query.Instance, dcs []query.DegreeConstraint, opt Options) (*Result, error) {
+	if len(p.Targets) == 0 {
+		return nil, fmt.Errorf("core: rule has no targets")
+	}
+	if len(ins.Relations) != len(p.Atoms) {
+		return nil, fmt.Errorf("core: instance has %d relations for %d atoms", len(ins.Relations), len(p.Atoms))
+	}
+	// A target ∅ admits the trivial minimal model {()} (Section 1.3).
+	for _, b := range p.Targets {
+		if b == 0 {
+			return trivialResult(), nil
+		}
+	}
+	dcs = CompleteConstraints(&p.Schema, ins, dcs)
+	for _, c := range dcs {
+		if c.Guard < 0 || c.Guard >= len(ins.Relations) {
+			return nil, fmt.Errorf("core: constraint on %v lacks a guard atom", c.Y)
+		}
+		if !c.Y.SubsetOf(p.Atoms[c.Guard].Vars) {
+			return nil, fmt.Errorf("core: atom %s cannot guard constraint on %v",
+				p.Atoms[c.Guard].Name, c.Y)
+		}
+	}
+	pr, _, err := plan.PrepareRule(&p.Schema, dcs, p.Targets)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteRule(&p.Schema, pr, dcs, ins, opt)
 }
 
 func dedupeSets(in []bitset.Set) []bitset.Set {
@@ -156,59 +168,128 @@ func dedupeSets(in []bitset.Set) []bitset.Set {
 	return out
 }
 
-// EvalFull answers a full conjunctive query exactly (Corollary 7.10):
-// PANDA with the single target [n], then a semijoin reduction with every
-// input relation removes spurious tuples.
-func EvalFull(q *query.Conjunctive, ins *query.Instance, dcs []query.DegreeConstraint, opt Options) (*relation.Relation, *Result, error) {
-	if !q.IsFull() {
-		return nil, nil, fmt.Errorf("core: EvalFull needs a full query")
-	}
-	res, err := EvalDisjunctive(q.AsRule(), ins, dcs, opt)
-	if err != nil {
-		return nil, nil, err
-	}
-	t := res.Tables[bitset.Full(q.NumVars)]
-	for _, r := range ins.Relations {
-		t = t.Semijoin(r)
-	}
-	return t, res, nil
+// ExecResult is the outcome of executing a reified plan over an instance.
+type ExecResult struct {
+	// Out is the output relation; nil for Boolean queries.
+	Out *relation.Relation
+	// NonEmpty answers non-emptiness in every mode.
+	NonEmpty bool
+	// Tables are the raw model tables of the PANDA rule (ModeFull only).
+	Tables map[bitset.Set]*relation.Relation
+	// Bound is the rule's polymatroid bound (ModeFull only).
+	Bound *big.Rat
+	// Stats accumulates the engine work across all executed rules.
+	Stats *Stats
 }
 
-// widthPlan holds the shared tree-decomposition machinery of the
-// Corollary 7.11 / 7.13 evaluators.
-type widthPlan struct {
-	tds      []*hypergraph.Decomposition
-	bags     []bitset.Set       // distinct bag universe
-	bagIdx   map[bitset.Set]int // bag → index in bags
-	tdBags   [][]int            // per decomposition: indices into bags
-	universe []bitset.Set       // alias of bags (transversal universe)
-}
-
-func newWidthPlan(q *query.Conjunctive) (*widthPlan, error) {
-	h := q.Hypergraph()
-	if !h.CoversAll() {
-		return nil, fmt.Errorf("core: query body does not cover all variables")
+// Execute runs the data-dependent phase of a prepared plan over an
+// instance. The plan is treated as immutable: concurrent Execute calls on a
+// shared plan are safe.
+func Execute(p *plan.Plan, ins *query.Instance, opt Options) (*ExecResult, error) {
+	if len(ins.Relations) != len(p.Schema.Atoms) {
+		return nil, fmt.Errorf("core: instance has %d relations for %d atoms",
+			len(ins.Relations), len(p.Schema.Atoms))
 	}
-	tds, err := h.AllDecompositions()
-	if err != nil {
-		return nil, err
-	}
-	pl := &widthPlan{tds: tds, bagIdx: map[bitset.Set]int{}}
-	for _, d := range tds {
-		var idxs []int
-		for _, b := range d.Bags {
-			i, ok := pl.bagIdx[b]
-			if !ok {
-				i = len(pl.bags)
-				pl.bagIdx[b] = i
-				pl.bags = append(pl.bags, b)
-			}
-			idxs = append(idxs, i)
+	switch p.Mode {
+	case plan.ModeFull:
+		res, err := ExecuteRule(&p.Schema, p.Rules[0], p.Cons, ins, opt)
+		if err != nil {
+			return nil, err
 		}
-		pl.tdBags = append(pl.tdBags, idxs)
+		// Semijoin reduction with every input removes spurious tuples
+		// (Corollary 7.10).
+		t := res.Tables[bitset.Full(p.Schema.NumVars)]
+		for _, r := range ins.Relations {
+			t = t.Semijoin(r)
+		}
+		return &ExecResult{Out: t, NonEmpty: t.Size() > 0, Tables: res.Tables, Bound: res.Bound, Stats: res.Stats}, nil
+
+	case plan.ModeFhtw:
+		td := p.TDs[p.Chosen]
+		stats := newStats()
+		rels := make([]*relation.Relation, len(td.Bags))
+		for i, b := range td.Bags {
+			res, err := ExecuteRule(&p.Schema, p.Rules[i], p.Cons, ins, opt)
+			if err != nil {
+				return nil, err
+			}
+			accumulate(stats, res.Stats)
+			rels[i] = reduceWithInputs(res.Tables[b], ins)
+		}
+		if p.Free == 0 {
+			ok, err := yannakakis.NonEmpty(rels, td.Parent)
+			if err != nil {
+				return nil, err
+			}
+			return &ExecResult{NonEmpty: ok, Stats: stats}, nil
+		}
+		out, err := yannakakis.Join(rels, td.Parent)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Out: out, NonEmpty: out.Size() > 0, Stats: stats}, nil
+
+	case plan.ModeSubw:
+		stats := newStats()
+		tables := map[bitset.Set]*relation.Relation{}
+		for _, pr := range p.Rules {
+			res, err := ExecuteRule(&p.Schema, pr, p.Cons, ins, opt)
+			if err != nil {
+				return nil, err
+			}
+			accumulate(stats, res.Stats)
+			mergeTables(tables, res.Tables)
+		}
+		// Semijoin-reduce every bag table with the inputs.
+		for b, t := range tables {
+			tables[b] = reduceWithInputs(t, ins)
+		}
+		// Evaluate every decomposition whose bags all have tables; union.
+		var out *relation.Relation
+		answer := false
+		evaluated := 0
+		for ti, td := range p.TDs {
+			rels := make([]*relation.Relation, len(td.Bags))
+			ok := true
+			for i, bi := range p.TDBags[ti] {
+				t, have := tables[p.Bags[bi]]
+				if !have {
+					ok = false
+					break
+				}
+				rels[i] = t
+			}
+			if !ok {
+				continue
+			}
+			evaluated++
+			if p.Free == 0 {
+				ne, err := yannakakis.NonEmpty(rels, td.Parent)
+				if err != nil {
+					return nil, err
+				}
+				answer = answer || ne
+				continue
+			}
+			j, err := yannakakis.Join(rels, td.Parent)
+			if err != nil {
+				return nil, err
+			}
+			if out == nil {
+				out = j
+			} else {
+				out = out.Union(j)
+			}
+		}
+		if evaluated == 0 {
+			return nil, fmt.Errorf("core: no tree decomposition fully covered by transversal bags")
+		}
+		if p.Free == 0 {
+			return &ExecResult{NonEmpty: answer, Stats: stats}, nil
+		}
+		return &ExecResult{Out: out, NonEmpty: out.Size() > 0, Stats: stats}, nil
 	}
-	pl.universe = pl.bags
-	return pl, nil
+	return nil, fmt.Errorf("core: plan mode %v is not executable", p.Mode)
 }
 
 // reduceWithInputs semijoins t with every input relation sharing attributes.
@@ -223,64 +304,37 @@ func reduceWithInputs(t *relation.Relation, ins *query.Instance) *relation.Relat
 	return t
 }
 
+// EvalFull answers a full conjunctive query exactly (Corollary 7.10):
+// PANDA with the single target [n], then a semijoin reduction with every
+// input relation removes spurious tuples. Thin wrapper over
+// plan.Prepare(ModeFull) + Execute.
+func EvalFull(q *query.Conjunctive, ins *query.Instance, dcs []query.DegreeConstraint, opt Options) (*relation.Relation, *Result, error) {
+	if !q.IsFull() {
+		return nil, nil, fmt.Errorf("core: EvalFull needs a full query")
+	}
+	if len(ins.Relations) != len(q.Atoms) {
+		return nil, nil, fmt.Errorf("core: instance has %d relations for %d atoms", len(ins.Relations), len(q.Atoms))
+	}
+	p, _, err := plan.Prepare(q, CompleteConstraints(&q.Schema, ins, dcs), plan.ModeFull)
+	if err != nil {
+		return nil, nil, err
+	}
+	ex, err := Execute(p, ins, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ex.Out, &Result{Tables: ex.Tables, Bound: ex.Bound, Stats: ex.Stats}, nil
+}
+
 // EvalFhtw evaluates a full or Boolean conjunctive query with the
 // degree-aware fractional-hypertree-width plan of Corollary 7.11: pick the
 // tree decomposition minimizing the worst per-bag polymatroid bound, run
 // PANDA once per bag, semijoin-reduce, then Yannakakis.
 // For Boolean queries the returned relation is nil and the bool is the
 // answer; for full queries the relation is the exact output.
+// Thin wrapper over plan.Prepare(ModeFhtw) + Execute.
 func EvalFhtw(q *query.Conjunctive, ins *query.Instance, dcs []query.DegreeConstraint, opt Options) (*relation.Relation, bool, *Stats, error) {
-	pl, err := newWidthPlan(q)
-	if err != nil {
-		return nil, false, nil, err
-	}
-	alldcs := withAtomCardinalities(&q.Schema, ins, dcs)
-	fdcs, err := toFlowDCs(&q.Schema, alldcs)
-	if err != nil {
-		return nil, false, nil, err
-	}
-	// Choose the decomposition with the smallest worst-bag bound.
-	bagBound := make([]*big.Rat, len(pl.bags))
-	for i, b := range pl.bags {
-		r, err := flow.MaximinBound(q.NumVars, fdcs, []bitset.Set{b})
-		if err != nil {
-			return nil, false, nil, err
-		}
-		bagBound[i] = r.Bound
-	}
-	best, bestVal := -1, new(big.Rat)
-	for ti := range pl.tds {
-		worst := new(big.Rat)
-		for _, bi := range pl.tdBags[ti] {
-			if bagBound[bi].Cmp(worst) > 0 {
-				worst = bagBound[bi]
-			}
-		}
-		if best == -1 || worst.Cmp(bestVal) < 0 {
-			best, bestVal = ti, worst
-		}
-	}
-	td := pl.tds[best]
-	stats := newStats()
-	rels := make([]*relation.Relation, len(td.Bags))
-	for i, b := range td.Bags {
-		rule := &query.Disjunctive{Schema: q.Schema, Targets: []bitset.Set{b}}
-		res, err := EvalDisjunctive(rule, ins, dcs, opt)
-		if err != nil {
-			return nil, false, nil, err
-		}
-		accumulate(stats, res.Stats)
-		rels[i] = reduceWithInputs(res.Tables[b], ins)
-	}
-	if q.IsBoolean() {
-		ok, err := yannakakis.NonEmpty(rels, td.Parent)
-		return nil, ok, stats, err
-	}
-	out, err := yannakakis.Join(rels, td.Parent)
-	if err != nil {
-		return nil, false, nil, err
-	}
-	return out, out.Size() > 0, stats, nil
+	return evalPlanned(q, ins, dcs, opt, plan.ModeFhtw)
 }
 
 // EvalSubw evaluates a full or Boolean conjunctive query at the
@@ -289,78 +343,24 @@ func EvalFhtw(q *query.Conjunctive, ins *query.Instance, dcs []query.DegreeConst
 // (Lemma 7.12), per-bag tables unioned across rules, semijoin-reduced, and
 // every tree decomposition whose bags are all available is evaluated with
 // Yannakakis; the union of the per-tree results is exactly Q.
+// Thin wrapper over plan.Prepare(ModeSubw) + Execute.
 func EvalSubw(q *query.Conjunctive, ins *query.Instance, dcs []query.DegreeConstraint, opt Options) (*relation.Relation, bool, *Stats, error) {
-	pl, err := newWidthPlan(q)
+	return evalPlanned(q, ins, dcs, opt, plan.ModeSubw)
+}
+
+func evalPlanned(q *query.Conjunctive, ins *query.Instance, dcs []query.DegreeConstraint, opt Options, mode plan.Mode) (*relation.Relation, bool, *Stats, error) {
+	if len(ins.Relations) != len(q.Atoms) {
+		return nil, false, nil, fmt.Errorf("core: instance has %d relations for %d atoms", len(ins.Relations), len(q.Atoms))
+	}
+	p, _, err := plan.Prepare(q, CompleteConstraints(&q.Schema, ins, dcs), mode)
 	if err != nil {
 		return nil, false, nil, err
 	}
-	transversals, err := hypergraph.MinimalTransversals(pl.universe, pl.tdBags)
+	ex, err := Execute(p, ins, opt)
 	if err != nil {
 		return nil, false, nil, err
 	}
-	stats := newStats()
-	tables := map[bitset.Set]*relation.Relation{}
-	for _, tr := range transversals {
-		targets := make([]bitset.Set, len(tr))
-		for i, bi := range tr {
-			targets[i] = pl.bags[bi]
-		}
-		rule := &query.Disjunctive{Schema: q.Schema, Targets: targets}
-		res, err := EvalDisjunctive(rule, ins, dcs, opt)
-		if err != nil {
-			return nil, false, nil, err
-		}
-		accumulate(stats, res.Stats)
-		mergeTables(tables, res.Tables)
-	}
-	// Semijoin-reduce every bag table with the inputs.
-	for b, t := range tables {
-		tables[b] = reduceWithInputs(t, ins)
-	}
-	// Evaluate every decomposition whose bags all have tables; union.
-	var out *relation.Relation
-	answer := false
-	evaluated := 0
-	for ti, td := range pl.tds {
-		rels := make([]*relation.Relation, len(td.Bags))
-		ok := true
-		for i, bi := range pl.tdBags[ti] {
-			t, have := tables[pl.bags[bi]]
-			if !have {
-				ok = false
-				break
-			}
-			rels[i] = t
-		}
-		if !ok {
-			continue
-		}
-		evaluated++
-		if q.IsBoolean() {
-			ne, err := yannakakis.NonEmpty(rels, td.Parent)
-			if err != nil {
-				return nil, false, nil, err
-			}
-			answer = answer || ne
-			continue
-		}
-		j, err := yannakakis.Join(rels, td.Parent)
-		if err != nil {
-			return nil, false, nil, err
-		}
-		if out == nil {
-			out = j
-		} else {
-			out = out.Union(j)
-		}
-	}
-	if evaluated == 0 {
-		return nil, false, nil, fmt.Errorf("core: no tree decomposition fully covered by transversal bags")
-	}
-	if q.IsBoolean() {
-		return nil, answer, stats, nil
-	}
-	return out, out.Size() > 0, stats, nil
+	return ex.Out, ex.NonEmpty, ex.Stats, nil
 }
 
 func accumulate(dst, src *Stats) {

@@ -1,0 +1,209 @@
+package plan
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"panda/internal/query"
+)
+
+// Stats is a snapshot of a Planner's cache and planning counters.
+type Stats struct {
+	Hits       uint64 // Prepare calls answered from the cache (zero LP solves)
+	Misses     uint64 // Prepare calls that built a fresh plan
+	Evictions  uint64 // plans dropped by the LRU policy
+	LPSolves   uint64 // exact simplex solves performed across all builds
+	PlansBuilt uint64 // plans constructed (== Misses unless builds raced)
+}
+
+// DefaultCacheSize is the plan capacity of NewPlanner(0).
+const DefaultCacheSize = 128
+
+// maxExactsPerPlan bounds how many exact fingerprints (distinct query
+// texts resolving to the same canonical plan) are registered per entry; at
+// the cap the oldest fingerprint is evicted, so recently seen texts always
+// take the fast path.
+const maxExactsPerPlan = 16
+
+// Planner prepares query plans through a concurrency-safe LRU cache keyed
+// by the canonical signature of (query shape, free variables, constraint
+// set, mode). A hit performs no LP solves and no proof construction — the
+// cached canonical plan is rebound to the caller's variable space, which is
+// pure bookkeeping. Repeat traffic with byte-identical query text takes an
+// exact-fingerprint fast path that also skips signature canonicalization
+// (the permutation search of Canonicalize), so steady-state hits cost one
+// linear encoding plus the rebind.
+type Planner struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	index map[string]*list.Element // canonical Key → element; value is *entry
+	exact map[string]*exactRef     // Fingerprint → entry + its signature
+	stats Stats
+}
+
+type entry struct {
+	key    string
+	plan   *Plan    // canonical space
+	exacts []string // fingerprints registered against this entry
+}
+
+// exactRef remembers the signature a fingerprint resolved to, so later
+// identical calls can rebind without re-canonicalizing.
+type exactRef struct {
+	el  *list.Element
+	sig *Signature
+}
+
+// NewPlanner returns a Planner whose cache holds up to capacity plans
+// (DefaultCacheSize when capacity ≤ 0).
+func NewPlanner(capacity int) *Planner {
+	if capacity <= 0 {
+		capacity = DefaultCacheSize
+	}
+	return &Planner{
+		cap:   capacity,
+		ll:    list.New(),
+		index: map[string]*list.Element{},
+		exact: map[string]*exactRef{},
+	}
+}
+
+// registerExact links a fingerprint to an entry, evicting the entry's
+// oldest fingerprint at the cap; caller holds pl.mu.
+func (pl *Planner) registerExact(el *list.Element, fp string, sig *Signature) {
+	ent := el.Value.(*entry)
+	if _, dup := pl.exact[fp]; dup {
+		return
+	}
+	if len(ent.exacts) >= maxExactsPerPlan {
+		delete(pl.exact, ent.exacts[0])
+		ent.exacts = ent.exacts[1:]
+	}
+	pl.exact[fp] = &exactRef{el: el, sig: sig}
+	ent.exacts = append(ent.exacts, fp)
+}
+
+// evictLRU drops least-recently-used entries beyond capacity; caller holds
+// pl.mu.
+func (pl *Planner) evictLRU() {
+	for pl.ll.Len() > pl.cap {
+		back := pl.ll.Back()
+		pl.ll.Remove(back)
+		ent := back.Value.(*entry)
+		delete(pl.index, ent.key)
+		for _, fp := range ent.exacts {
+			delete(pl.exact, fp)
+		}
+		pl.stats.Evictions++
+	}
+}
+
+// Prepare returns a plan for q under cons, reusing a cached plan when one
+// exists for the canonical signature. The returned plan is always in the
+// caller's variable space and safe for concurrent Execute calls.
+func (pl *Planner) Prepare(q *query.Conjunctive, cons []query.DegreeConstraint, mode Mode) (*Plan, error) {
+	if pl == nil {
+		p, _, err := Prepare(q, cons, mode)
+		return p, err
+	}
+	// Validate before encoding so cache keys only ever describe
+	// well-formed inputs.
+	if err := validateQuery(q, cons); err != nil {
+		return nil, err
+	}
+	mode = ResolveMode(q, mode)
+	fp := Fingerprint(q, cons, mode)
+	pl.mu.Lock()
+	if ref, ok := pl.exact[fp]; ok {
+		pl.ll.MoveToFront(ref.el)
+		cached := ref.el.Value.(*entry).plan
+		sig := ref.sig
+		pl.stats.Hits++
+		pl.mu.Unlock()
+		return cached.fromCanonical(sig, &q.Schema, q.Free), nil
+	}
+	pl.mu.Unlock()
+
+	// First sighting of this query text: canonicalize (outside the lock —
+	// the permutation search can be expensive) and look up by signature.
+	sig, err := Canonicalize(q, cons, mode)
+	if err != nil {
+		return nil, err
+	}
+	pl.mu.Lock()
+	if el, ok := pl.index[sig.Key]; ok {
+		pl.ll.MoveToFront(el)
+		pl.registerExact(el, fp, sig)
+		cached := el.Value.(*entry).plan
+		pl.stats.Hits++
+		pl.mu.Unlock()
+		return cached.fromCanonical(sig, &q.Schema, q.Free), nil
+	}
+	pl.stats.Misses++
+	pl.mu.Unlock()
+
+	p, bs, err := Prepare(q, cons, mode)
+	if err != nil {
+		return nil, err
+	}
+	p.Key = sig.Key
+	canon := p.toCanonical(sig)
+	pl.mu.Lock()
+	pl.stats.LPSolves += uint64(bs.LPSolves)
+	pl.stats.PlansBuilt++
+	el, ok := pl.index[sig.Key]
+	if ok {
+		// A concurrent build won the race; adopt its entry.
+		pl.ll.MoveToFront(el)
+	} else {
+		el = pl.ll.PushFront(&entry{key: sig.Key, plan: canon})
+		pl.index[sig.Key] = el
+	}
+	pl.registerExact(el, fp, sig)
+	pl.evictLRU()
+	pl.mu.Unlock()
+	return p, nil
+}
+
+// Stats returns a snapshot of the planner's counters.
+func (pl *Planner) Stats() Stats {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.stats
+}
+
+// Len reports how many plans the cache currently holds.
+func (pl *Planner) Len() int {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.ll.Len()
+}
+
+// Keys returns the cached signature keys, most recently used first; useful
+// for tests asserting the LRU eviction order.
+func (pl *Planner) Keys() []string {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	out := make([]string, 0, pl.ll.Len())
+	for el := pl.ll.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*entry).key)
+	}
+	return out
+}
+
+// Reset empties the cache and zeroes the counters.
+func (pl *Planner) Reset() {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	pl.ll.Init()
+	pl.index = map[string]*list.Element{}
+	pl.exact = map[string]*exactRef{}
+	pl.stats = Stats{}
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d lp-solves=%d plans-built=%d",
+		s.Hits, s.Misses, s.Evictions, s.LPSolves, s.PlansBuilt)
+}

@@ -1,0 +1,223 @@
+package plan
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestPlannerHitSkipsLP: the second Prepare of an identical query must be a
+// cache hit with zero additional LP solves — the acceptance criterion of
+// the prepared-query subsystem.
+func TestPlannerHitSkipsLP(t *testing.T) {
+	pl := NewPlanner(8)
+	q, cons := cycleQuery(4, nil, nil, 100)
+	if _, err := pl.Prepare(q, cons, ModeFhtw); err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Stats()
+	if st.Misses != 1 || st.Hits != 0 || st.LPSolves == 0 {
+		t.Fatalf("after first Prepare: %v", st)
+	}
+	solved := st.LPSolves
+	p2, err := pl.Prepare(q, cons, ModeFhtw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = pl.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("second Prepare was not a hit: %v", st)
+	}
+	if st.LPSolves != solved {
+		t.Fatalf("cache hit ran %d LP solves", st.LPSolves-solved)
+	}
+	if p2 == nil || p2.Width == nil || len(p2.Rules) == 0 {
+		t.Fatal("hit returned a hollow plan")
+	}
+}
+
+// TestPlannerRenamedHit: a variable-renamed query must hit the cache and
+// come back rebound to its own variable space.
+func TestPlannerRenamedHit(t *testing.T) {
+	pl := NewPlanner(8)
+	q1, c1 := cycleQuery(4, nil, nil, 100)
+	p1, err := pl.Prepare(q1, c1, ModeSubw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, c2 := cycleQuery(4, []int{2, 0, 3, 1}, []int{1, 3, 0, 2}, 100)
+	p2, err := pl.Prepare(q2, c2, ModeSubw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("renamed query missed: %v", st)
+	}
+	if p1.Width.Cmp(p2.Width) != 0 {
+		t.Fatalf("widths diverge: %v vs %v", p1.Width, p2.Width)
+	}
+	// The rebound plan must live in q2's space: every rule target and bag
+	// is a union of q2 atom variable sets, and guards index q2's atoms.
+	for _, r := range p2.Rules {
+		for _, b := range r.Targets {
+			covered := b
+			for _, a := range q2.Atoms {
+				covered = covered.Minus(a.Vars)
+			}
+			if covered != 0 {
+				t.Fatalf("target %v outside q2's atom universe", b)
+			}
+		}
+	}
+	for _, c := range p2.Cons {
+		if c.Guard < 0 || c.Guard >= len(q2.Atoms) || !c.Y.SubsetOf(q2.Atoms[c.Guard].Vars) {
+			t.Fatalf("rebound constraint %+v has an invalid guard", c)
+		}
+	}
+	if len(p2.Schema.Atoms) != len(q2.Atoms) {
+		t.Fatal("rebound schema lost atoms")
+	}
+	for i, a := range p2.Schema.Atoms {
+		if a.Name != q2.Atoms[i].Name || a.Vars != q2.Atoms[i].Vars {
+			t.Fatalf("rebound schema atom %d is %+v, want %+v", i, a, q2.Atoms[i])
+		}
+	}
+}
+
+// TestPlannerExactFastPath: first sighting of a reordered query goes
+// through canonicalization and hits the shared canonical entry; a repeat of
+// the same text takes the exact fast path. Both rebinds must be valid in
+// the caller's space.
+func TestPlannerExactFastPath(t *testing.T) {
+	pl := NewPlanner(8)
+	q1, c1 := cycleQuery(4, nil, nil, 100)
+	q2, c2 := cycleQuery(4, nil, []int{2, 0, 3, 1}, 100)
+	if _, err := pl.Prepare(q1, c1, ModeFhtw); err != nil {
+		t.Fatal(err)
+	}
+	check := func(p *Plan) {
+		t.Helper()
+		for _, c := range p.Cons {
+			if c.Guard < 0 || c.Guard >= len(q2.Atoms) || !c.Y.SubsetOf(q2.Atoms[c.Guard].Vars) {
+				t.Fatalf("rebound constraint %+v invalid for q2", c)
+			}
+		}
+	}
+	p2a, err := pl.Prepare(q2, c2, ModeFhtw) // canonical-path hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(p2a)
+	p2b, err := pl.Prepare(q2, c2, ModeFhtw) // exact fast-path hit
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(p2b)
+	st := pl.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("expected 2 hits / 1 miss, got %v", st)
+	}
+}
+
+// TestPlannerLRUEviction: the least recently used plan is evicted first,
+// and touching a plan refreshes it.
+func TestPlannerLRUEviction(t *testing.T) {
+	pl := NewPlanner(2)
+	mk := func(card int64) (string, error) {
+		q, cons := cycleQuery(3, nil, nil, card)
+		p, err := pl.Prepare(q, cons, ModeFull)
+		if err != nil {
+			return "", err
+		}
+		return p.Key, nil
+	}
+	kA, err := mk(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kB, err := mk(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch A so B becomes least recently used.
+	if _, err := mk(4); err != nil {
+		t.Fatal(err)
+	}
+	kC, err := mk(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := pl.Keys()
+	if len(keys) != 2 || keys[0] != kC || keys[1] != kA {
+		t.Fatalf("LRU order %v, want [C=%s A=%s]", keys, kC, kA)
+	}
+	st := pl.Stats()
+	if st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+	// B was evicted: preparing it again must miss.
+	misses := st.Misses
+	if _, err := mk(8); err != nil {
+		t.Fatal(err)
+	}
+	if got := pl.Stats().Misses; got != misses+1 {
+		t.Fatalf("evicted plan did not miss (misses %d → %d)", misses, got)
+	}
+	if pl.Len() != 2 {
+		t.Fatalf("cache holds %d plans, want 2", pl.Len())
+	}
+	_ = kB
+}
+
+// TestPlannerConcurrent hammers one planner from many goroutines mixing
+// repeated and distinct queries; run with -race.
+func TestPlannerConcurrent(t *testing.T) {
+	pl := NewPlanner(4)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				card := int64(4 << uint(i%3)) // three distinct signatures
+				q, cons := cycleQuery(4, nil, nil, card)
+				p, err := pl.Prepare(q, cons, ModeFhtw)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if p.Width == nil || len(p.Rules) == 0 {
+					errs <- fmt.Errorf("goroutine %d got hollow plan", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := pl.Stats()
+	if st.Hits+st.Misses != 64 {
+		t.Fatalf("hits+misses = %d, want 64 (%v)", st.Hits+st.Misses, st)
+	}
+	if st.Misses < 3 {
+		t.Fatalf("expected at least 3 misses for 3 signatures: %v", st)
+	}
+}
+
+// TestPlannerReset clears state.
+func TestPlannerReset(t *testing.T) {
+	pl := NewPlanner(2)
+	q, cons := cycleQuery(3, nil, nil, 4)
+	if _, err := pl.Prepare(q, cons, ModeFull); err != nil {
+		t.Fatal(err)
+	}
+	pl.Reset()
+	if pl.Len() != 0 || pl.Stats() != (Stats{}) {
+		t.Fatal("Reset left state behind")
+	}
+}

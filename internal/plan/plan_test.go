@@ -1,0 +1,247 @@
+package plan
+
+import (
+	"math/big"
+	"testing"
+
+	"panda/internal/bitset"
+	"panda/internal/flow"
+	"panda/internal/query"
+	"panda/internal/widths"
+)
+
+type queryAtom = query.Atom
+
+// TestPrepareFhtwWidthCertificate: with unit logs the fhtw plan's width
+// certificate must equal the classic da-fhtw of the 4-cycle (2).
+func TestPrepareFhtwWidthCertificate(t *testing.T) {
+	q, cons := cycleQuery(4, nil, nil, 2) // log₂ 2 = 1 per edge
+	p, bs, err := Prepare(q, cons, ModeFhtw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Width.Cmp(big.NewRat(2, 1)) != 0 {
+		t.Fatalf("fhtw width certificate %v, want 2", p.Width)
+	}
+	if bs.LPSolves == 0 {
+		t.Fatal("Prepare reported zero LP solves")
+	}
+	if p.Chosen < 0 || p.Chosen >= len(p.TDs) {
+		t.Fatalf("chosen decomposition %d out of range", p.Chosen)
+	}
+	td := p.TDs[p.Chosen]
+	if len(p.Rules) != len(td.Bags) {
+		t.Fatalf("%d rules for %d bags", len(p.Rules), len(td.Bags))
+	}
+	for i, r := range p.Rules {
+		if len(r.Targets) != 1 || r.Targets[0] != td.Bags[i] {
+			t.Fatalf("rule %d targets %v, want bag %v", i, r.Targets, td.Bags[i])
+		}
+		if len(r.Seq) == 0 {
+			t.Fatalf("rule %d has an empty proof sequence", i)
+		}
+	}
+	// The cross-check against the widths package.
+	var dcs []flow.DC
+	for _, c := range cons {
+		dcs = append(dcs, flow.DC{X: c.X, Y: c.Y, LogN: c.LogN})
+	}
+	want, err := widths.DaFhtw(q.Hypergraph(), dcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Width.Cmp(want) != 0 {
+		t.Fatalf("plan width %v ≠ widths.DaFhtw %v", p.Width, want)
+	}
+}
+
+// TestPrepareSubwWidthCertificate: the subw plan's certificate must equal
+// da-subw (3/2 on the unit-log 4-cycle).
+func TestPrepareSubwWidthCertificate(t *testing.T) {
+	q, cons := cycleQuery(4, nil, nil, 2)
+	p, _, err := Prepare(q, cons, ModeSubw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Width.Cmp(big.NewRat(3, 2)) != 0 {
+		t.Fatalf("subw width certificate %v, want 3/2", p.Width)
+	}
+	if len(p.Transversals) != len(p.Rules) {
+		t.Fatalf("%d rules for %d transversals", len(p.Rules), len(p.Transversals))
+	}
+	var dcs []flow.DC
+	for _, c := range cons {
+		dcs = append(dcs, flow.DC{X: c.X, Y: c.Y, LogN: c.LogN})
+	}
+	want, err := widths.DaSubw(q.Hypergraph(), dcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Width.Cmp(want) != 0 {
+		t.Fatalf("plan width %v ≠ widths.DaSubw %v", p.Width, want)
+	}
+}
+
+// TestPrepareCovers: every reified cover must actually cover its bag.
+func TestPrepareCovers(t *testing.T) {
+	q, cons := cycleQuery(4, nil, nil, 100)
+	for _, mode := range []Mode{ModeFull, ModeFhtw, ModeSubw} {
+		p, _, err := Prepare(q, cons, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		covers, err := p.Covers()
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if len(covers) == 0 {
+			t.Fatalf("%v: no covers", mode)
+		}
+		for _, cov := range covers {
+			for _, v := range cov.Bag.Vars() {
+				total := new(big.Rat)
+				for j, a := range q.Atoms {
+					if a.Vars.Contains(v) {
+						total.Add(total, cov.Weights[j])
+					}
+				}
+				if total.Cmp(big.NewRat(1, 1)) < 0 {
+					t.Fatalf("%v: cover of %v leaves vertex %d under-covered (%v)", mode, cov.Bag, v, total)
+				}
+			}
+		}
+	}
+}
+
+// TestPrepareModeAuto mirrors the facade dispatch.
+func TestPrepareModeAuto(t *testing.T) {
+	qf, cons := cycleQuery(4, nil, nil, 16)
+	p, _, err := Prepare(qf, cons, ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != ModeFull {
+		t.Fatalf("full query resolved to %v", p.Mode)
+	}
+	qb, cons := cycleQuery(4, nil, nil, 16)
+	qb.Free = 0
+	p, _, err = Prepare(qb, cons, ModeAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode != ModeSubw {
+		t.Fatalf("Boolean query resolved to %v", p.Mode)
+	}
+}
+
+// TestPrepareErrors: malformed inputs are rejected before any LP runs.
+func TestPrepareErrors(t *testing.T) {
+	q, cons := cycleQuery(4, nil, nil, 8)
+	// Unguarded constraint.
+	c := cons[0]
+	c.Guard = -1
+	if _, _, err := Prepare(q, append(cons[1:len(cons):len(cons)], c), ModeFhtw); err == nil {
+		t.Fatal("unguarded constraint accepted")
+	}
+	// Guard atom that cannot cover the constraint.
+	c = cons[0]
+	c.Guard = 2 // atom over other variables
+	if c.Y.SubsetOf(q.Atoms[2].Vars) {
+		t.Fatal("test setup: guard accidentally valid")
+	}
+	if _, _, err := Prepare(q, append(cons[1:len(cons):len(cons)], c), ModeFhtw); err == nil {
+		t.Fatal("mismatched guard accepted")
+	}
+	// ModeFull on a non-full query.
+	qb := *q
+	qb.Free = bitset.Of(0)
+	if _, _, err := Prepare(&qb, cons, ModeFull); err == nil {
+		t.Fatal("ModeFull accepted a non-full query")
+	}
+	// Variables outside the universe must error, not panic (both in the
+	// direct and the cached path).
+	qf := *q
+	qf.Free = q.Free.Add(10)
+	if _, _, err := Prepare(&qf, cons, ModeAuto); err == nil {
+		t.Fatal("free variable outside universe accepted")
+	}
+	if _, err := NewPlanner(2).Prepare(&qf, cons, ModeAuto); err == nil {
+		t.Fatal("planner accepted free variable outside universe")
+	}
+	qa := *q
+	qa.Schema.Atoms = append([]queryAtom(nil), q.Atoms...)
+	qa.Schema.Atoms[0].Vars = qa.Atoms[0].Vars.Add(20)
+	if _, _, err := Prepare(&qa, cons, ModeAuto); err == nil {
+		t.Fatal("atom variable outside universe accepted")
+	}
+}
+
+// TestRebindRoundTrip: caller → canonical → caller must be the identity on
+// everything the executor consumes.
+func TestRebindRoundTrip(t *testing.T) {
+	q, cons := cycleQuery(4, []int{1, 3, 0, 2}, []int{3, 1, 0, 2}, 32)
+	p, _, err := Prepare(q, cons, ModeSubw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := Canonicalize(q, cons, ModeSubw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Key = sig.Key
+	rt := p.toCanonical(sig).fromCanonical(sig, &q.Schema, q.Free)
+	if rt.Key != p.Key || rt.Mode != p.Mode || rt.Free != p.Free {
+		t.Fatal("round trip changed identity fields")
+	}
+	if rt.Width.Cmp(p.Width) != 0 {
+		t.Fatalf("round trip changed width: %v → %v", p.Width, rt.Width)
+	}
+	// The bag universe must be preserved as a set.
+	bags := map[bitset.Set]bool{}
+	for _, b := range p.Bags {
+		bags[b] = true
+	}
+	for _, b := range rt.Bags {
+		if !bags[b] {
+			t.Fatalf("round trip invented bag %v", b)
+		}
+	}
+	if len(rt.Bags) != len(p.Bags) {
+		t.Fatalf("round trip changed bag count %d → %d", len(p.Bags), len(rt.Bags))
+	}
+	// Constraints must be preserved as a multiset, with valid guards.
+	type key struct {
+		x, y  bitset.Set
+		logN  string
+		guard bitset.Set
+	}
+	count := map[key]int{}
+	for _, c := range p.Cons {
+		count[key{c.X, c.Y, c.LogN.RatString(), q.Atoms[c.Guard].Vars}]++
+	}
+	for _, c := range rt.Cons {
+		count[key{c.X, c.Y, c.LogN.RatString(), rt.Schema.Atoms[c.Guard].Vars}]--
+	}
+	for k, v := range count {
+		if v != 0 {
+			t.Fatalf("round trip changed constraint multiset at %+v (%+d)", k, v)
+		}
+	}
+	// Every rule's proof sequence must survive with targets intact.
+	if len(rt.Rules) != len(p.Rules) {
+		t.Fatal("round trip changed rule count")
+	}
+	for i := range p.Rules {
+		if len(rt.Rules[i].Seq) != len(p.Rules[i].Seq) {
+			t.Fatalf("rule %d proof length changed", i)
+		}
+		if len(rt.Rules[i].Targets) != len(p.Rules[i].Targets) {
+			t.Fatalf("rule %d target count changed", i)
+		}
+		for j, b := range p.Rules[i].Targets {
+			if rt.Rules[i].Targets[j] != b {
+				t.Fatalf("rule %d target %d changed: %v → %v", i, j, b, rt.Rules[i].Targets[j])
+			}
+		}
+	}
+}

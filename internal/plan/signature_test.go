@@ -1,0 +1,155 @@
+package plan
+
+import (
+	"testing"
+
+	"panda/internal/bitset"
+	"panda/internal/query"
+)
+
+// cycleQuery builds a full k-cycle query with the vertex order given by
+// perm (perm[i] is the variable index playing role i) and atoms listed in
+// atomOrder. Cardinality n is attached to every atom.
+func cycleQuery(k int, perm []int, atomOrder []int, card int64) (*query.Conjunctive, []query.DegreeConstraint) {
+	if perm == nil {
+		perm = make([]int, k)
+		for i := range perm {
+			perm[i] = i
+		}
+	}
+	atoms := make([]query.Atom, k)
+	for i := 0; i < k; i++ {
+		atoms[i] = query.Atom{
+			Name: "R" + string(rune('0'+i)),
+			Vars: bitset.Of(perm[i], perm[(i+1)%k]),
+		}
+	}
+	if atomOrder != nil {
+		reordered := make([]query.Atom, k)
+		for i, j := range atomOrder {
+			reordered[i] = atoms[j]
+		}
+		atoms = reordered
+	}
+	q := &query.Conjunctive{
+		Schema: query.Schema{NumVars: k, Atoms: atoms},
+		Free:   bitset.Full(k),
+	}
+	var cons []query.DegreeConstraint
+	for i, a := range q.Atoms {
+		cons = append(cons, query.Cardinality(a.Vars, card, i))
+	}
+	return q, cons
+}
+
+func mustSig(t *testing.T, q *query.Conjunctive, cons []query.DegreeConstraint, mode Mode) *Signature {
+	t.Helper()
+	sig, err := Canonicalize(q, cons, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sig
+}
+
+// TestSignatureRenameInvariant: renaming variables must not change the key.
+func TestSignatureRenameInvariant(t *testing.T) {
+	q1, c1 := cycleQuery(4, nil, nil, 100)
+	// Rotate and swap the variable roles.
+	q2, c2 := cycleQuery(4, []int{2, 3, 0, 1}, nil, 100)
+	q3, c3 := cycleQuery(4, []int{3, 1, 2, 0}, nil, 100)
+	s1 := mustSig(t, q1, c1, ModeFhtw)
+	s2 := mustSig(t, q2, c2, ModeFhtw)
+	s3 := mustSig(t, q3, c3, ModeFhtw)
+	if s1.Key != s2.Key || s1.Key != s3.Key {
+		t.Fatalf("renamed 4-cycles got distinct keys:\n%s\n%s\n%s", s1.Key, s2.Key, s3.Key)
+	}
+}
+
+// TestSignatureAtomOrderInvariant: listing body atoms in another order must
+// not change the key.
+func TestSignatureAtomOrderInvariant(t *testing.T) {
+	q1, c1 := cycleQuery(4, nil, nil, 64)
+	q2, c2 := cycleQuery(4, nil, []int{2, 0, 3, 1}, 64)
+	s1 := mustSig(t, q1, c1, ModeSubw)
+	s2 := mustSig(t, q2, c2, ModeSubw)
+	if s1.Key != s2.Key {
+		t.Fatalf("atom reorder changed key:\n%s\n%s", s1.Key, s2.Key)
+	}
+}
+
+// TestSignatureDistinguishes: modes, free sets and constraint values are
+// all part of the identity.
+func TestSignatureDistinguishes(t *testing.T) {
+	q, c := cycleQuery(4, nil, nil, 100)
+	base := mustSig(t, q, c, ModeFhtw)
+	if s := mustSig(t, q, c, ModeSubw); s.Key == base.Key {
+		t.Fatal("mode not part of the key")
+	}
+	qb := &query.Conjunctive{Schema: q.Schema, Free: 0}
+	if s := mustSig(t, qb, c, ModeFhtw); s.Key == base.Key {
+		t.Fatal("free set not part of the key")
+	}
+	_, c2 := cycleQuery(4, nil, nil, 200)
+	if s := mustSig(t, q, c2, ModeFhtw); s.Key == base.Key {
+		t.Fatal("constraint bounds not part of the key")
+	}
+}
+
+// TestSignatureDistinguishesShape: the triangle and the 4-cycle must not
+// collide.
+func TestSignatureDistinguishesShape(t *testing.T) {
+	q3, c3 := cycleQuery(3, nil, nil, 100)
+	q4, c4 := cycleQuery(4, nil, nil, 100)
+	if mustSig(t, q3, c3, ModeFhtw).Key == mustSig(t, q4, c4, ModeFhtw).Key {
+		t.Fatal("triangle and 4-cycle collide")
+	}
+}
+
+// TestFingerprintOrderSensitive: the exact-fingerprint fast path keys on
+// byte identity. Queries with the same atom-mask multiset but a different
+// atom order need different rebind permutations, so they must NOT share a
+// fingerprint (regression: reusing the sorted canonical encoding here once
+// rebound reordered queries with the wrong signature).
+func TestFingerprintOrderSensitive(t *testing.T) {
+	q1, c1 := cycleQuery(4, nil, nil, 100)
+	q2, c2 := cycleQuery(4, nil, []int{2, 0, 3, 1}, 100)
+	if Fingerprint(q1, c1, ModeFhtw) == Fingerprint(q2, c2, ModeFhtw) {
+		t.Fatal("atom-reordered queries share a fingerprint")
+	}
+	if Fingerprint(q1, c1, ModeFhtw) != Fingerprint(q1, c1, ModeFhtw) {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	// Mode resolution is part of the fingerprint, so ModeAuto and its
+	// resolution collapse to one slot.
+	if Fingerprint(q1, c1, ModeAuto) != Fingerprint(q1, c1, ModeFull) {
+		t.Fatal("ModeAuto and resolved mode fingerprint differently")
+	}
+}
+
+// TestSignaturePermutationsAreValid: the recorded permutations must be
+// bijections consistent with the caller's shapes.
+func TestSignaturePermutationsAreValid(t *testing.T) {
+	q, c := cycleQuery(5, []int{4, 2, 0, 3, 1}, []int{1, 0, 4, 2, 3}, 32)
+	sig := mustSig(t, q, c, ModeSubw)
+	seen := map[int]bool{}
+	for _, p := range sig.VarPerm {
+		if p < 0 || p >= 5 || seen[p] {
+			t.Fatalf("VarPerm %v is not a permutation", sig.VarPerm)
+		}
+		seen[p] = true
+	}
+	seen = map[int]bool{}
+	for _, p := range sig.AtomPerm {
+		if p < 0 || p >= len(q.Atoms) || seen[p] {
+			t.Fatalf("AtomPerm %v is not a permutation", sig.AtomPerm)
+		}
+		seen[p] = true
+	}
+	seen = map[int]bool{}
+	for _, p := range sig.ConsPerm {
+		if p < 0 || p >= len(c) || seen[p] {
+			t.Fatalf("ConsPerm %v is not a permutation", sig.ConsPerm)
+		}
+		seen[p] = true
+	}
+}

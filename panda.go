@@ -18,7 +18,12 @@
 //     and Boolean conjunctive queries at the degree-aware fractional
 //     hypertree width and submodular width (Theorem 1.9);
 //   - the width-parameter zoo of Section 7: tw, ghtw, fhtw, subw, adw and
-//     their degree-aware generalizations, all exact.
+//     their degree-aware generalizations, all exact;
+//   - prepared queries (Prepare / PreparedQuery.Eval): the data-independent
+//     planning phase — LP solves, proof-sequence construction, tree
+//     decomposition choice — runs once, is reified as a QueryPlan, and is
+//     cached in a concurrency-safe LRU keyed by a canonical,
+//     renaming-invariant signature, so repeated traffic pays planning once.
 //
 // The subpackages under internal/ hold the substrates (exact simplex,
 // relational algebra, hypergraph/tree-decomposition machinery, entropy and

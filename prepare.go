@@ -1,0 +1,163 @@
+package panda
+
+import (
+	"math/big"
+
+	"panda/internal/core"
+	"panda/internal/flow"
+	"panda/internal/plan"
+)
+
+// Prepared-query support: the data-independent planning phase (exact LP
+// solves, proof-sequence construction, tree-decomposition choice) runs once
+// in Prepare and is reified as a plan; Eval then runs only the
+// data-dependent phase. A Planner caches plans in a concurrency-safe LRU
+// keyed by a canonical signature of (query shape, free variables,
+// constraint set), so repeated traffic — including queries that are mere
+// variable renamings of earlier ones — skips planning entirely.
+
+// QueryPlan is a reified query plan: tree decomposition(s), per-bag
+// fractional edge covers, PANDA proof sequences, and an exact width
+// certificate.
+type QueryPlan = plan.Plan
+
+// RulePlan is the reified planning output for a single disjunctive rule.
+type RulePlan = plan.PreparedRule
+
+// PlanCover is an exact fractional edge cover of one plan bag.
+type PlanCover = plan.Cover
+
+// PlanMode selects the evaluation strategy a plan encodes.
+type PlanMode = plan.Mode
+
+// Plan modes.
+const (
+	ModeAuto = plan.ModeAuto // ModeFull for full queries, ModeSubw otherwise
+	ModeFull = plan.ModeFull // PANDA + semijoin reduction (Corollary 7.10)
+	ModeFhtw = plan.ModeFhtw // fractional-hypertree-width plan (Corollary 7.11)
+	ModeSubw = plan.ModeSubw // submodular-width plan (Theorem 1.9)
+)
+
+// PlannerStats snapshots a Planner's cache and planning counters.
+type PlannerStats = plan.Stats
+
+// ProofStep is one weighted Shannon-flow proof step (Definition 5.7).
+type ProofStep = flow.Step
+
+// Proof-step kinds (rules 13–16 of the paper).
+const (
+	StepSubmodularity = flow.Submodularity
+	StepMonotonicity  = flow.Monotonicity
+	StepComposition   = flow.Composition
+	StepDecomposition = flow.Decomposition
+)
+
+// Planner prepares query plans through a concurrency-safe LRU plan cache.
+// The zero capacity selects plan.DefaultCacheSize.
+type Planner struct {
+	inner *plan.Planner
+}
+
+// NewPlanner returns a Planner holding up to capacity cached plans.
+func NewPlanner(capacity int) *Planner {
+	return &Planner{inner: plan.NewPlanner(capacity)}
+}
+
+// Prepare runs the planning phase for q under a complete constraint set:
+// every constraint guarded and every atom carrying a cardinality constraint
+// (use PrepareFor to derive missing cardinalities from an instance). The
+// result can be evaluated against any instance satisfying the constraints.
+func (pl *Planner) Prepare(q *Query, dcs []Constraint) (*PreparedQuery, error) {
+	return pl.PrepareMode(q, dcs, ModeAuto)
+}
+
+// PrepareMode is Prepare with an explicit strategy choice.
+func (pl *Planner) PrepareMode(q *Query, dcs []Constraint, mode PlanMode) (*PreparedQuery, error) {
+	p, err := pl.inner.Prepare(q, dcs, mode)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{p: p}, nil
+}
+
+// PrepareFor completes dcs with the instance's atom cardinalities before
+// planning, mirroring what Eval/EvalFhtw/EvalSubw do internally.
+func (pl *Planner) PrepareFor(q *Query, ins *Instance, dcs []Constraint) (*PreparedQuery, error) {
+	return pl.PrepareMode(q, core.CompleteConstraints(&q.Schema, ins, dcs), ModeAuto)
+}
+
+// PrepareForMode is PrepareFor with an explicit strategy choice.
+func (pl *Planner) PrepareForMode(q *Query, ins *Instance, dcs []Constraint, mode PlanMode) (*PreparedQuery, error) {
+	return pl.PrepareMode(q, core.CompleteConstraints(&q.Schema, ins, dcs), mode)
+}
+
+// Stats returns the planner's hit/miss/eviction/LP counters.
+func (pl *Planner) Stats() PlannerStats { return pl.inner.Stats() }
+
+// PreparedQuery is a query whose planning phase has already run; Eval
+// executes only the data-dependent part. Safe for concurrent Eval calls.
+type PreparedQuery struct {
+	p *plan.Plan
+}
+
+// Eval runs the prepared plan over an instance. The relation is nil for
+// Boolean queries; the bool answers non-emptiness in every case. Proper
+// projection queries are projected onto their free variables, matching the
+// one-shot Eval dispatch.
+func (pq *PreparedQuery) Eval(ins *Instance, opt Options) (*Relation, bool, *Stats, error) {
+	ex, err := core.Execute(pq.p, ins, opt)
+	if err != nil {
+		return nil, false, nil, err
+	}
+	out := ex.Out
+	if out != nil && pq.p.Free != 0 && pq.p.Free != out.Attrs() {
+		out = out.Project(pq.p.Free)
+	}
+	return out, ex.NonEmpty, ex.Stats, nil
+}
+
+// Plan exposes the reified plan for introspection.
+func (pq *PreparedQuery) Plan() *QueryPlan { return pq.p }
+
+// Width is the plan's exact width certificate in log₂ units: the
+// polymatroid bound (ModeFull), da-fhtw (ModeFhtw) or da-subw (ModeSubw).
+func (pq *PreparedQuery) Width() *big.Rat { return pq.p.Width }
+
+// Signature is the canonical cache key of the plan.
+func (pq *PreparedQuery) Signature() string { return pq.p.Key }
+
+// Mode reports the strategy the plan encodes.
+func (pq *PreparedQuery) Mode() PlanMode { return pq.p.Mode }
+
+// Covers computes the plan's per-bag fractional edge covers on demand
+// (execution never needs them; they document the AGM-style certificate of
+// each bag).
+func (pq *PreparedQuery) Covers() ([]PlanCover, error) { return pq.p.Covers() }
+
+// defaultPlanner backs the package-level Prepare helpers.
+var defaultPlanner = NewPlanner(0)
+
+// Prepare plans q with the process-wide default planner (shared LRU cache).
+func Prepare(q *Query, dcs []Constraint) (*PreparedQuery, error) {
+	return defaultPlanner.Prepare(q, dcs)
+}
+
+// PrepareFor plans q with the default planner, deriving missing atom
+// cardinalities from the instance.
+func PrepareFor(q *Query, ins *Instance, dcs []Constraint) (*PreparedQuery, error) {
+	return defaultPlanner.PrepareFor(q, ins, dcs)
+}
+
+// PrepareRule runs the planning phase for a disjunctive rule: the
+// polymatroid-bound LP and the Theorem 5.9 proof sequence. The constraint
+// set must be complete (see Planner.Prepare).
+func PrepareRule(p *Rule, dcs []Constraint) (*RulePlan, error) {
+	pr, _, err := plan.PrepareRule(&p.Schema, dcs, p.Targets)
+	return pr, err
+}
+
+// CompleteConstraints appends each atom's instance cardinality to dcs when
+// missing, producing the complete constraint set the planner needs.
+func CompleteConstraints(s *Schema, ins *Instance, dcs []Constraint) []Constraint {
+	return core.CompleteConstraints(s, ins, dcs)
+}

@@ -1,0 +1,130 @@
+package panda
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestFacadePreparedQuery: prepare-once/eval-many through the facade
+// matches the one-shot Eval path, and repeated preparation is answered from
+// the plan cache without LP work.
+func TestFacadePreparedQuery(t *testing.T) {
+	pl := NewPlanner(8)
+	q := FourCycleQuery()
+	ins := RandomInstance(3, &q.Schema, 200, 24)
+
+	pq, err := pl.PrepareFor(q, ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pq.Mode() != ModeFull {
+		t.Fatalf("full query planned as %v", pq.Mode())
+	}
+	if pq.Width() == nil || pq.Signature() == "" {
+		t.Fatal("plan lacks width certificate or signature")
+	}
+	got, ok, stats, err := pq.Eval(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats == nil {
+		t.Fatal("prepared Eval returned no stats")
+	}
+	want, wantOK, err := Eval(q, ins, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != wantOK || !reflect.DeepEqual(got.SortedRows(), want.SortedRows()) {
+		t.Fatalf("prepared facade result diverges: %d rows vs %d", got.Size(), want.Size())
+	}
+
+	solved := pl.Stats().LPSolves
+	if _, err := pl.PrepareFor(q, ins, nil); err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Stats()
+	if st.Hits != 1 || st.LPSolves != solved {
+		t.Fatalf("re-preparation was not a free cache hit: %v", st)
+	}
+
+	// The explicit fhtw mode works through the facade too.
+	pq2, err := pl.PrepareForMode(q, ins, nil, ModeFhtw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, _, _, err := pq2.Eval(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got2.SortedRows(), want.SortedRows()) {
+		t.Fatal("fhtw prepared facade result diverges")
+	}
+}
+
+// TestFacadePrepareRule: rule planning is exposed and prints a proof
+// sequence consistent with RuleBound.
+func TestFacadePrepareRule(t *testing.T) {
+	p := PathRule()
+	var dcs []Constraint
+	for i, a := range p.Atoms {
+		dcs = append(dcs, Cardinality(a.Vars, 16, i))
+	}
+	rp, err := PrepareRule(p, dcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RuleBound(p, dcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Bound.Cmp(want) != 0 {
+		t.Fatalf("prepared rule bound %v ≠ RuleBound %v", rp.Bound, want)
+	}
+	if len(rp.Seq) == 0 {
+		t.Fatal("prepared rule has no proof sequence")
+	}
+}
+
+// TestFacadePreparedProjection: a proper projection query evaluates to the
+// same rows through the prepared path as through Eval.
+func TestFacadePreparedProjection(t *testing.T) {
+	q := FourCycleQuery()
+	q.Free = Vars(0, 2)
+	ins := RandomInstance(17, &q.Schema, 80, 12)
+	want, wantOK, err := Eval(q, ins, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := NewPlanner(4).PrepareFor(q, ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _, err := pq.Eval(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != wantOK || !reflect.DeepEqual(got.SortedRows(), want.SortedRows()) {
+		t.Fatalf("prepared projection diverges: %d rows vs %d", got.Size(), want.Size())
+	}
+}
+
+// TestFacadeDefaultPlanner: the package-level helpers share one cache.
+func TestFacadeDefaultPlanner(t *testing.T) {
+	q := TriangleQuery()
+	ins := RandomInstance(8, &q.Schema, 50, 12)
+	pq, err := PrepareFor(q, ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, _, err := pq.Eval(ins, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, wantOK, err := Eval(q, ins, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != wantOK {
+		t.Fatalf("default-planner answer %v, want %v", ok, wantOK)
+	}
+}
