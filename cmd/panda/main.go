@@ -1,6 +1,8 @@
 // Command panda is the CLI front end of the library: it parses a query
 // file, reports size bounds and width parameters, and optionally evaluates
-// the query over CSV relations.
+// the query over CSV relations. It is a thin shell over the panda.DB
+// session API — evaluation opens a session, ingests the data directory
+// into the catalog, and runs the query text through DB.Query.
 //
 // Usage:
 //
@@ -20,11 +22,14 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -35,34 +40,47 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("panda: ")
-	if len(os.Args) < 3 {
-		usage()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, errUsage) {
+			usage()
+		}
+		log.Fatal(err)
 	}
-	cmd, file := os.Args[1], os.Args[2]
+}
+
+var errUsage = errors.New("usage")
+
+// run dispatches one CLI invocation, writing its report to w. Factored out
+// of main so the end-to-end tests can drive the exact production path.
+func run(args []string, w io.Writer) error {
+	if len(args) < 2 {
+		return errUsage
+	}
+	cmd, file := args[0], args[1]
 	src, err := os.ReadFile(file)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	res, err := panda.Parse(string(src))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	switch cmd {
 	case "bounds":
-		cmdBounds(res)
+		return cmdBounds(w, res)
 	case "widths":
-		cmdWidths(res)
+		return cmdWidths(w, res)
 	case "eval":
-		if len(os.Args) < 4 {
-			usage()
+		if len(args) < 3 {
+			return errUsage
 		}
-		cmdEval(res, os.Args[3])
+		return cmdEval(w, res, string(src), args[2])
 	case "explain":
-		cmdExplain(res)
+		return cmdExplain(w, res)
 	case "plan":
-		cmdPlan(res)
+		return cmdPlan(w, res)
 	default:
-		usage()
+		return errUsage
 	}
 }
 
@@ -77,29 +95,9 @@ func usage() {
 }
 
 // defaultCard is assumed for atoms with no declared cardinality so the
-// planning LPs are bounded; `panda plan` reports the assumption.
+// data-independent planning LPs are bounded; `panda plan` reports the
+// assumption.
 const defaultCard = 1024
-
-// completeConstraints appends |R| ≤ defaultCard for every atom lacking a
-// cardinality constraint, returning the completed set and the atom names
-// the default was assumed for.
-func completeConstraints(s *query.Schema, dcs []panda.Constraint) ([]panda.Constraint, []string) {
-	have := map[panda.Set]bool{}
-	for _, c := range dcs {
-		if c.IsCardinality() {
-			have[c.Y] = true
-		}
-	}
-	out := append([]panda.Constraint(nil), dcs...)
-	var assumed []string
-	for i, a := range s.Atoms {
-		if !have[a.Vars] {
-			out = append(out, panda.Cardinality(a.Vars, defaultCard, i))
-			assumed = append(assumed, a.Name)
-		}
-	}
-	return out, assumed
-}
 
 func fmtStep(s *query.Schema, st panda.ProofStep) string {
 	w := st.W.RatString()
@@ -115,42 +113,42 @@ func fmtStep(s *query.Schema, st panda.ProofStep) string {
 	}
 }
 
-func printRulePlan(s *query.Schema, idx int, rp *panda.RulePlan) {
+func printRulePlan(w io.Writer, s *query.Schema, idx int, rp *panda.RulePlan) {
 	var targets []string
 	for _, b := range rp.Targets {
 		targets = append(targets, "T_"+s.VarLabel(b))
 	}
-	fmt.Printf("rule %d: %s\n", idx, strings.Join(targets, " ∨ "))
+	fmt.Fprintf(w, "rule %d: %s\n", idx, strings.Join(targets, " ∨ "))
 	if rp.Trivial {
-		fmt.Println("  trivial: ∅ target, answered by the unit table")
+		fmt.Fprintln(w, "  trivial: ∅ target, answered by the unit table")
 		return
 	}
-	fmt.Printf("  bound: 2^%s\n", rp.Bound.FloatString(4))
-	fmt.Printf("  proof sequence (%d steps):\n", len(rp.Seq))
+	fmt.Fprintf(w, "  bound: 2^%s\n", rp.Bound.FloatString(4))
+	fmt.Fprintf(w, "  proof sequence (%d steps):\n", len(rp.Seq))
 	for _, st := range rp.Seq {
-		fmt.Printf("    %s\n", fmtStep(s, st))
+		fmt.Fprintf(w, "    %s\n", fmtStep(s, st))
 	}
 }
 
-func cmdPlan(res *query.ParseResult) {
+func cmdPlan(w io.Writer, res *query.ParseResult) error {
 	s := &res.Rule.Schema
-	dcs, assumed := completeConstraints(s, res.Constraints)
+	dcs, assumed := panda.DefaultCardinalities(s, res.Constraints, defaultCard)
 	if len(assumed) > 0 {
-		fmt.Printf("# no cardinality declared for %s; assuming ≤ %d\n",
+		fmt.Fprintf(w, "# no cardinality declared for %s; assuming ≤ %d\n",
 			strings.Join(assumed, ", "), defaultCard)
 	}
 	if res.Conj == nil {
 		rp, err := panda.PrepareRule(res.Rule, dcs)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println("prepared disjunctive rule:")
-		printRulePlan(s, 0, rp)
-		return
+		fmt.Fprintln(w, "prepared disjunctive rule:")
+		printRulePlan(w, s, 0, rp)
+		return nil
 	}
 	pq, err := panda.Prepare(res.Conj, dcs)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	p := pq.Plan()
 	widthName := map[panda.PlanMode]string{
@@ -158,39 +156,40 @@ func cmdPlan(res *query.ParseResult) {
 		panda.ModeFhtw: "da-fhtw",
 		panda.ModeSubw: "da-subw",
 	}[p.Mode]
-	fmt.Printf("mode      : %v\n", p.Mode)
-	fmt.Printf("signature : %x (%d-byte canonical key)\n", keyDigest(p.Key), len(p.Key))
-	fmt.Printf("width     : %s = %s (log₂ units)\n", widthName, p.Width.FloatString(4))
+	fmt.Fprintf(w, "mode      : %v\n", p.Mode)
+	fmt.Fprintf(w, "signature : %x (%d-byte canonical key)\n", keyDigest(p.Key), len(p.Key))
+	fmt.Fprintf(w, "width     : %s = %s (log₂ units)\n", widthName, p.Width.FloatString(4))
 	if p.Chosen >= 0 {
 		td := p.TDs[p.Chosen]
-		fmt.Printf("tree decomposition (%d of %d enumerated):\n", p.Chosen+1, len(p.TDs))
+		fmt.Fprintf(w, "tree decomposition (%d of %d enumerated):\n", p.Chosen+1, len(p.TDs))
 		for i, b := range td.Bags {
 			parent := "root"
 			if td.Parent[i] >= 0 {
 				parent = fmt.Sprintf("child of %s", s.VarLabel(td.Bags[td.Parent[i]]))
 			}
-			fmt.Printf("  bag %s (%s)\n", s.VarLabel(b), parent)
+			fmt.Fprintf(w, "  bag %s (%s)\n", s.VarLabel(b), parent)
 		}
 	} else if len(p.Transversals) > 0 {
-		fmt.Printf("bag universe: %d bags across %d tree decompositions, %d minimal transversals\n",
+		fmt.Fprintf(w, "bag universe: %d bags across %d tree decompositions, %d minimal transversals\n",
 			len(p.Bags), len(p.TDs), len(p.Transversals))
 	}
 	covers, err := p.Covers()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	for _, cov := range covers {
 		var terms []string
-		for j, w := range cov.Weights {
-			if w.Sign() != 0 {
-				terms = append(terms, fmt.Sprintf("%s=%s", s.Atoms[j].Name, w.RatString()))
+		for j, wt := range cov.Weights {
+			if wt.Sign() != 0 {
+				terms = append(terms, fmt.Sprintf("%s=%s", s.Atoms[j].Name, wt.RatString()))
 			}
 		}
-		fmt.Printf("cover %s: ρ* = %s  [%s]\n", s.VarLabel(cov.Bag), cov.Value.RatString(), strings.Join(terms, " "))
+		fmt.Fprintf(w, "cover %s: ρ* = %s  [%s]\n", s.VarLabel(cov.Bag), cov.Value.RatString(), strings.Join(terms, " "))
 	}
 	for i, rp := range p.Rules {
-		printRulePlan(s, i, rp)
+		printRulePlan(w, s, i, rp)
 	}
+	return nil
 }
 
 // keyDigest is a short stable digest for displaying signature keys.
@@ -200,139 +199,144 @@ func keyDigest(s string) uint32 {
 	return h.Sum32()
 }
 
-func cmdBounds(res *query.ParseResult) {
+func cmdBounds(w io.Writer, res *query.ParseResult) error {
 	if res.Conj != nil {
 		rep, err := panda.Bounds(res.Conj, res.Constraints)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println("size bounds (log₂ units; |Q| ≤ 2^value):")
-		fmt.Printf("  vertex bound      : %v\n", rep.Vertex.FloatString(4))
+		fmt.Fprintln(w, "size bounds (log₂ units; |Q| ≤ 2^value):")
+		fmt.Fprintf(w, "  vertex bound      : %v\n", rep.Vertex.FloatString(4))
 		if rep.IntegralCover != nil {
-			fmt.Printf("  integral cover ρ  : %v\n", rep.IntegralCover.FloatString(4))
-			fmt.Printf("  AGM bound ρ*      : %v\n", rep.AGM.FloatString(4))
+			fmt.Fprintf(w, "  integral cover ρ  : %v\n", rep.IntegralCover.FloatString(4))
+			fmt.Fprintf(w, "  AGM bound ρ*      : %v\n", rep.AGM.FloatString(4))
 		}
-		fmt.Printf("  polymatroid bound : %v\n", rep.Polymatroid.FloatString(4))
-		return
+		fmt.Fprintf(w, "  polymatroid bound : %v\n", rep.Polymatroid.FloatString(4))
+		return nil
 	}
 	b, err := panda.RuleBound(res.Rule, res.Constraints)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("disjunctive rule polymatroid bound: 2^%v\n", b.FloatString(4))
+	fmt.Fprintf(w, "disjunctive rule polymatroid bound: 2^%v\n", b.FloatString(4))
+	return nil
 }
 
-func cmdWidths(res *query.ParseResult) {
+func cmdWidths(w io.Writer, res *query.ParseResult) error {
 	if res.Conj == nil {
-		log.Fatal("widths apply to conjunctive queries")
+		return errors.New("widths apply to conjunctive queries")
 	}
 	rep, err := panda.Widths(res.Conj)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("tw   = %d\n", rep.Treewidth)
-	fmt.Printf("ghtw = %d\n", rep.GHTW)
-	fmt.Printf("fhtw = %v\n", rep.FHTW.RatString())
-	fmt.Printf("subw = %v\n", rep.Subw.RatString())
-	fmt.Printf("adw  = %v\n", rep.Adw.RatString())
+	fmt.Fprintf(w, "tw   = %d\n", rep.Treewidth)
+	fmt.Fprintf(w, "ghtw = %d\n", rep.GHTW)
+	fmt.Fprintf(w, "fhtw = %v\n", rep.FHTW.RatString())
+	fmt.Fprintf(w, "subw = %v\n", rep.Subw.RatString())
+	fmt.Fprintf(w, "adw  = %v\n", rep.Adw.RatString())
 	if len(res.Constraints) > 0 {
 		df, err := panda.DaFhtw(res.Conj, res.Constraints)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		ds, err := panda.DaSubw(res.Conj, res.Constraints)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("da-fhtw = %v (log₂ units)\n", df.FloatString(4))
-		fmt.Printf("da-subw = %v (log₂ units)\n", ds.FloatString(4))
+		fmt.Fprintf(w, "da-fhtw = %v (log₂ units)\n", df.FloatString(4))
+		fmt.Fprintf(w, "da-subw = %v (log₂ units)\n", ds.FloatString(4))
 	}
+	return nil
 }
 
-func loadInstance(s *query.Schema, dir string) (*panda.Instance, error) {
-	ins := panda.NewInstance(s)
+// cmdEval is the DB path end to end: ingest each referenced <Atom>.csv
+// into a session catalog, run the query text through Prepare + Query,
+// print the unified result. Every head shape — full, Boolean, proper
+// projection (which previously fell through to the disjunctive branch and
+// printed T_ tables) and disjunctive rules — routes through the same
+// call. Only the atoms the query names are loaded, so unrelated files in
+// the data directory are ignored; a relation's CSV may be empty (the atom
+// arity comes from the query), but it must exist.
+func cmdEval(w io.Writer, parsed *query.ParseResult, src, dir string) error {
+	db := panda.Open()
+	defer db.Close()
+	s := &parsed.Rule.Schema
 	for i, a := range s.Atoms {
-		path := filepath.Join(dir, a.Name+".csv")
-		data, err := os.ReadFile(path)
+		if err := db.CreateRelation(a.Name, s.Arity(i)); err != nil {
+			if errors.Is(err, panda.ErrRelationExists) {
+				continue // self-join: both atoms read one table
+			}
+			return err
+		}
+		f, err := os.Open(filepath.Join(dir, a.Name+".csv"))
 		if err != nil {
-			return nil, fmt.Errorf("relation %s: %w", a.Name, err)
+			return fmt.Errorf("relation %s: %w", a.Name, err)
 		}
-		for ln, line := range strings.Split(string(data), "\n") {
-			line = strings.TrimSpace(line)
-			if line == "" || strings.HasPrefix(line, "#") {
-				continue
-			}
-			parts := strings.Split(line, ",")
-			if len(parts) != a.Vars.Card() {
-				return nil, fmt.Errorf("%s line %d: %d fields, want %d", path, ln+1, len(parts), a.Vars.Card())
-			}
-			row := make([]panda.Value, len(parts))
-			for k, p := range parts {
-				v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
-				if err != nil {
-					return nil, fmt.Errorf("%s line %d: %v", path, ln+1, err)
-				}
-				row[k] = v
-			}
-			ins.Relations[i].Insert(row)
+		_, err = db.LoadCSV(a.Name, f)
+		f.Close()
+		if err != nil {
+			return err
 		}
 	}
-	return ins, nil
-}
-
-func cmdEval(res *query.ParseResult, dir string) {
-	ins, err := loadInstance(&res.Rule.Schema, dir)
+	stmt, err := db.Prepare(src)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := panda.CheckInstance(&res.Rule.Schema, ins, res.Constraints); err != nil {
-		log.Fatal(err)
+	res, err := stmt.Query()
+	if err != nil {
+		return err
 	}
 	switch {
-	case res.Conj != nil && res.Conj.IsFull():
-		out, r, err := panda.EvalFull(res.Conj, ins, res.Constraints, panda.Options{})
-		if err != nil {
-			log.Fatal(err)
+	case res.Mode == panda.ModeRule:
+		targets := make([]panda.Set, 0, len(res.Tables))
+		for b := range res.Tables {
+			targets = append(targets, b)
 		}
-		fmt.Printf("# |Q| = %d  (bound 2^%v, max intermediate %d)\n",
-			out.Size(), r.Bound.FloatString(3), r.Stats.MaxIntermediate)
-		for _, row := range out.SortedRows() {
-			strs := make([]string, len(row))
-			for i, v := range row {
-				strs[i] = strconv.FormatInt(v, 10)
-			}
-			fmt.Println(strings.Join(strs, ","))
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, b := range targets {
+			fmt.Fprintf(w, "# T_%s: %d tuples\n", s.VarLabel(b), res.Tables[b].Size())
 		}
-	case res.Conj != nil && res.Conj.IsBoolean():
-		_, ans, stats, err := panda.EvalSubw(res.Conj, ins, res.Constraints, panda.Options{})
-		if err != nil {
-			log.Fatal(err)
+	case res.Rel == nil: // Boolean
+		fmt.Fprintf(w, "%v  (max intermediate %d)\n", res.OK, res.Stats.MaxIntermediate)
+	case res.Mode == panda.ModeFull:
+		fmt.Fprintf(w, "# |Q| = %d  (bound 2^%v, max intermediate %d)\n",
+			res.Size(), res.Bound.FloatString(3), res.Stats.MaxIntermediate)
+		printRows(w, res.Rows())
+	default: // proper projection (da-subw / da-fhtw)
+		fmt.Fprintf(w, "# |Q| = %d  (%s 2^%v, max intermediate %d)\n",
+			res.Size(), res.Mode, res.Width.FloatString(3), res.Stats.MaxIntermediate)
+		printRows(w, res.Rows())
+	}
+	return nil
+}
+
+func printRows(w io.Writer, rows [][]panda.Value) {
+	for _, row := range rows {
+		strs := make([]string, len(row))
+		for i, v := range row {
+			strs[i] = strconv.FormatInt(v, 10)
 		}
-		fmt.Printf("%v  (max intermediate %d)\n", ans, stats.MaxIntermediate)
-	default:
-		r, err := panda.EvalRule(res.Rule, ins, res.Constraints, panda.Options{})
-		if err != nil {
-			log.Fatal(err)
-		}
-		for b, t := range r.Tables {
-			fmt.Printf("# T_%s: %d tuples\n", res.Rule.VarLabel(b), t.Size())
-		}
+		fmt.Fprintln(w, strings.Join(strs, ","))
 	}
 }
 
-func cmdExplain(res *query.ParseResult) {
+func cmdExplain(w io.Writer, res *query.ParseResult) error {
 	// Build a small synthetic instance to drive the planner and show the
 	// operator trace.
 	ins := panda.RandomInstance(1, &res.Rule.Schema, 32, 8)
-	r, err := panda.EvalRule(res.Rule, ins, res.Constraints, panda.Options{Trace: true})
+	db := panda.Open()
+	defer db.Close()
+	r, err := db.EvalRule(res.Rule, ins, res.Constraints, panda.WithTrace(true))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Printf("polymatroid bound: 2^%v\n", r.Bound.FloatString(4))
-	fmt.Println("operator trace on a 32-tuple synthetic instance:")
+	fmt.Fprintf(w, "polymatroid bound: 2^%v\n", r.Bound.FloatString(4))
+	fmt.Fprintln(w, "operator trace on a 32-tuple synthetic instance:")
 	for _, line := range r.Stats.Trace {
-		fmt.Println("  ", line)
+		fmt.Fprintln(w, "  ", line)
 	}
-	fmt.Printf("steps: %v, joins %d, projections %d, partitions %d, restarts %d\n",
+	fmt.Fprintf(w, "steps: %v, joins %d, projections %d, partitions %d, restarts %d\n",
 		r.Stats.StepsByKind, r.Stats.Joins, r.Stats.Projections, r.Stats.Partitions, r.Stats.Restarts)
+	return nil
 }

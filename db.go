@@ -1,0 +1,443 @@
+package panda
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"panda/internal/bitset"
+	"panda/internal/core"
+	"panda/internal/query"
+	"panda/internal/relation"
+)
+
+// DB is a long-lived query session in the spirit of database/sql: it owns a
+// catalog of named relations (create / insert / CSV ingest / drop) and a
+// shared Planner, and answers the textual query language through one
+// unified path — db.Prepare(src) parses a query into a *Stmt, and
+// stmt.Query() / db.Query(src) run cache-hit planning plus execution,
+// returning a single *Result shape for full, Boolean and projection
+// conjunctive queries and disjunctive datalog rules alike.
+//
+// A DB is safe for concurrent use by multiple goroutines. The planning
+// phase (LP solves, proof sequences, decomposition choice) is cached in the
+// session's Planner keyed by a renaming-invariant canonical signature, so
+// repeated traffic against an unchanged catalog — including queries that
+// merely rename variables — pays planning once and executes with zero LP
+// solves thereafter. (Mutating a relation a query reads changes its
+// derived cardinality constraint and therefore the plan key: the next run
+// replans against the new sizes, by design.)
+type DB struct {
+	mu       sync.RWMutex
+	planner  *Planner
+	catalog  map[string]*relation.Relation // column i ↔ attribute i
+	version  uint64                        // bumped on every catalog mutation
+	defaults config
+	closed   bool
+}
+
+// config carries the tunables of a DB and of one query run. Functional
+// options replace the bare Options struct at the DB surface; Open sets
+// session defaults and each Query/Eval call may override them.
+type config struct {
+	mode       PlanMode
+	core       Options
+	plannerCap int
+}
+
+// Option tunes a DB (at Open) or a single query run (at Prepare / Query /
+// Eval), overriding the session defaults.
+type Option func(*config)
+
+// WithMode selects the evaluation strategy: ModeAuto (default) picks
+// ModeFull for full queries and ModeSubw otherwise; ModeFull / ModeFhtw /
+// ModeSubw force a strategy. Disjunctive rules take no mode: an explicit
+// per-call WithMode on a rule fails with ErrNotConjunctive, while a
+// session-wide default set at Open is ignored for rules.
+func WithMode(m PlanMode) Option { return func(c *config) { c.mode = m } }
+
+// WithTrace records one line per relational operation in Result.Stats.Trace.
+func WithTrace(on bool) Option { return func(c *config) { c.core.Trace = on } }
+
+// WithCheckInvariants validates the degree-support invariant and the
+// potential inequality before every engine step (slow; exact arithmetic).
+func WithCheckInvariants(on bool) Option { return func(c *config) { c.core.CheckInvariants = on } }
+
+// WithBudgetDisabled turns off the 2^OBJ composition budget (the ablation
+// switch): outputs stay correct but the runtime guarantee is forfeited.
+func WithBudgetDisabled(on bool) Option { return func(c *config) { c.core.DisableBudget = on } }
+
+// WithPlannerCapacity sizes the session's plan-cache LRU (0 selects the
+// default capacity). Effective at Open only.
+func WithPlannerCapacity(n int) Option { return func(c *config) { c.plannerCap = n } }
+
+// withOptions folds a legacy Options struct into the config; the deprecated
+// wrappers use it to route through the DB path unchanged.
+func withOptions(o Options) Option { return func(c *config) { c.core = o } }
+
+// Open creates an empty session. Options set session-wide defaults; per-call
+// options on Query/Prepare/Eval override them.
+func Open(opts ...Option) *DB {
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return &DB{
+		planner:  NewPlanner(cfg.plannerCap),
+		catalog:  map[string]*relation.Relation{},
+		defaults: cfg,
+	}
+}
+
+// newSession wraps an existing planner in a catalog-less DB; the deprecated
+// package-level wrappers share the default planner through one of these.
+func newSession(pl *Planner) *DB {
+	return &DB{planner: pl, catalog: map[string]*relation.Relation{}}
+}
+
+// Close drops the catalog and marks the session closed; subsequent calls
+// return ErrClosed. Closing an already-closed DB is a no-op.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.closed = true
+	db.catalog = nil
+	return nil
+}
+
+// Planner exposes the session's shared planner (for stats and Reset).
+func (db *DB) Planner() *Planner { return db.planner }
+
+// PlannerStats snapshots the session planner's hit/miss/LP counters; a
+// query server's ops surface polls this to watch cache effectiveness.
+func (db *DB) PlannerStats() PlannerStats { return db.planner.Stats() }
+
+// cfg materializes the effective config for one call.
+func (db *DB) cfg(opts []Option) config {
+	c := db.defaults
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// ---- Catalog ----
+
+// RelationInfo describes one catalog relation.
+type RelationInfo struct {
+	Name  string
+	Arity int
+	Size  int
+}
+
+// MaxArity bounds catalog relation arities (the bitset variable universe).
+const MaxArity = 32
+
+func checkArity(arity int) error {
+	if arity < 1 || arity > MaxArity {
+		return fmt.Errorf("%w: arity %d outside [1, %d]", ErrArity, arity, MaxArity)
+	}
+	return nil
+}
+
+// CreateRelation adds an empty relation with the given arity to the
+// catalog. It fails with ErrRelationExists on a duplicate name.
+func (db *DB) CreateRelation(name string, arity int) error {
+	if err := checkArity(arity); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if _, dup := db.catalog[name]; dup {
+		return fmt.Errorf("%w: %s", ErrRelationExists, name)
+	}
+	db.catalog[name] = relation.New(name, bitset.Full(arity))
+	db.version++
+	return nil
+}
+
+// DropRelation removes a relation from the catalog.
+func (db *DB) DropRelation(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if _, ok := db.catalog[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownRelation, name)
+	}
+	delete(db.catalog, name)
+	db.version++
+	return nil
+}
+
+// Insert adds tuples (in the relation's declared column order) with set
+// semantics; duplicates are ignored.
+func (db *DB) Insert(name string, rows ...[]Value) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	t, ok := db.catalog[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownRelation, name)
+	}
+	arity := t.Attrs().Card()
+	for _, row := range rows {
+		if len(row) != arity {
+			return fmt.Errorf("%w: tuple %v has %d values, relation %s needs %d",
+				ErrArity, row, len(row), name, arity)
+		}
+		t.Insert(row)
+	}
+	db.version++
+	return nil
+}
+
+// Relations lists the catalog, sorted by name. It fails with ErrClosed
+// after Close so an empty catalog and a closed session stay
+// distinguishable.
+func (db *DB) Relations() ([]RelationInfo, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	out := make([]RelationInfo, 0, len(db.catalog))
+	for name, t := range db.catalog {
+		out = append(out, RelationInfo{Name: name, Arity: t.Attrs().Card(), Size: t.Size()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// ---- CSV ingest (lifted out of cmd/panda) ----
+
+// LoadCSV reads comma-separated integer tuples into the named relation,
+// creating it (with the first row's arity) when absent. Blank lines and
+// lines starting with # are skipped. The load is atomic: on any parse or
+// arity error nothing is inserted and no relation is created. It returns
+// the number of data rows read (before set-semantics deduplication).
+func (db *DB) LoadCSV(name string, r io.Reader) (int, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return 0, err
+	}
+	// Stage and validate every row before touching the catalog.
+	var rows [][]Value
+	var lines []int
+	for ln, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		row := make([]Value, len(parts))
+		for k, p := range parts {
+			v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+			if err != nil {
+				return 0, fmt.Errorf("relation %s line %d: %v", name, ln+1, err)
+			}
+			row[k] = v
+		}
+		if len(rows) > 0 && len(row) != len(rows[0]) {
+			return 0, fmt.Errorf("%w: relation %s line %d: %d fields, want %d",
+				ErrArity, name, ln+1, len(row), len(rows[0]))
+		}
+		rows = append(rows, row)
+		lines = append(lines, ln+1)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	t := db.catalog[name]
+	if t == nil {
+		if len(rows) == 0 {
+			return 0, fmt.Errorf("relation %s: no rows to infer an arity from", name)
+		}
+		if err := checkArity(len(rows[0])); err != nil {
+			return 0, fmt.Errorf("relation %s line %d: %w", name, lines[0], err)
+		}
+		t = relation.New(name, bitset.Full(len(rows[0])))
+		db.catalog[name] = t
+	} else if len(rows) > 0 && len(rows[0]) != t.Attrs().Card() {
+		return 0, fmt.Errorf("%w: relation %s line %d: %d fields, want %d",
+			ErrArity, name, lines[0], len(rows[0]), t.Attrs().Card())
+	}
+	for _, row := range rows {
+		t.Insert(row)
+	}
+	db.version++
+	return len(rows), nil
+}
+
+// LoadCSVFile loads one <name>.csv file; the relation name is the base name
+// without the extension.
+func (db *DB) LoadCSVFile(path string) (string, int, error) {
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	f, err := os.Open(path)
+	if err != nil {
+		return name, 0, err
+	}
+	defer f.Close()
+	n, err := db.LoadCSV(name, f)
+	if err != nil {
+		return name, n, fmt.Errorf("%s: %w", path, err)
+	}
+	return name, n, nil
+}
+
+// LoadCSVDir loads every *.csv file in dir as a relation named after the
+// file. This is the CLI's data-dir convention, available to any embedder.
+// Each file loads atomically (see LoadCSV), but a failure mid-directory
+// leaves relations from earlier files in the catalog.
+func (db *DB) LoadCSVDir(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("panda: no *.csv files in %s", dir)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, _, err := db.LoadCSVFile(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// catalogVersion reads the mutation counter; Stmt uses it to invalidate
+// cached bound instances.
+func (db *DB) catalogVersion() (uint64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
+	return db.version, nil
+}
+
+// bindInstance snapshots the catalog into an Instance for the schema,
+// returning the catalog version the snapshot reflects; the read lock is
+// held for the duration of the copy.
+func (db *DB) bindInstance(s *Schema) (*Instance, uint64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, 0, ErrClosed
+	}
+	ins, err := query.BindInstance(s, func(name string) ([][]Value, int, bool) {
+		t, ok := db.catalog[name]
+		if !ok {
+			return nil, 0, false
+		}
+		return t.Rows(), t.Attrs().Card(), true
+	})
+	return ins, db.version, err
+}
+
+// ---- Query paths ----
+
+// Query parses and runs src against the catalog: Prepare + Stmt.Query in
+// one call. Repeated traffic still hits the plan cache — the planner keys
+// on the canonical query signature, not on the Stmt identity.
+func (db *DB) Query(src string, opts ...Option) (*Result, error) {
+	stmt, err := db.Prepare(src, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return stmt.Query()
+}
+
+// Eval runs a programmatically built conjunctive query against an explicit
+// instance, sharing the session's plan cache. Missing atom cardinalities
+// are derived from the instance; dcs may be nil.
+func (db *DB) Eval(q *Query, ins *Instance, dcs []Constraint, opts ...Option) (*Result, error) {
+	return db.evalConjunctive(q, ins, dcs, db.cfg(opts))
+}
+
+// EvalRule runs PANDA on a programmatically built disjunctive rule against
+// an explicit instance, returning the unified Result shape (Mode ==
+// ModeRule; the model lives in Result.Tables). An explicit WithMode in
+// opts fails with ErrNotConjunctive.
+func (db *DB) EvalRule(p *Rule, ins *Instance, dcs []Constraint, opts ...Option) (*Result, error) {
+	if err := rejectExplicitMode(opts); err != nil {
+		return nil, err
+	}
+	return db.evalRule(p, ins, dcs, db.cfg(opts))
+}
+
+func (db *DB) isClosed() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.closed
+}
+
+func (db *DB) evalConjunctive(q *Query, ins *Instance, dcs []Constraint, cfg config) (*Result, error) {
+	if db.isClosed() {
+		return nil, ErrClosed
+	}
+	if cfg.mode == ModeFull && !q.IsFull() {
+		return nil, fmt.Errorf("panda: ModeFull needs a full query (free %s)", q.VarLabel(q.Free))
+	}
+	p, err := db.planner.inner.Prepare(q, core.CompleteConstraints(&q.Schema, ins, dcs), cfg.mode)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := core.Execute(p, ins, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	out := projectFree(ex.Out, p.Free)
+	ok := ex.NonEmpty
+	if out != nil {
+		ok = out.Size() > 0
+	}
+	return &Result{
+		Rel:    out,
+		OK:     ok,
+		Width:  ex.Width,
+		Mode:   ex.Mode,
+		Tables: ex.Tables,
+		Bound:  ex.Bound,
+		Stats:  ex.Stats,
+	}, nil
+}
+
+func (db *DB) evalRule(p *Rule, ins *Instance, dcs []Constraint, cfg config) (*Result, error) {
+	if db.isClosed() {
+		return nil, ErrClosed
+	}
+	res, err := core.EvalDisjunctive(p, ins, dcs, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	ok := false
+	for _, t := range res.Tables {
+		if t.Size() > 0 {
+			ok = true
+			break
+		}
+	}
+	return &Result{
+		OK:     ok,
+		Width:  res.Bound,
+		Mode:   ModeRule,
+		Tables: res.Tables,
+		Bound:  res.Bound,
+		Stats:  res.Stats,
+	}, nil
+}

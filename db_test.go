@@ -1,0 +1,516 @@
+package panda
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// loadCatalog copies an instance's relations into the session catalog,
+// rows in ascending-variable column order (the instance convention).
+func loadCatalog(t *testing.T, db *DB, s *Schema, ins *Instance) {
+	t.Helper()
+	for i, a := range s.Atoms {
+		if err := db.CreateRelation(a.Name, a.Vars.Card()); err != nil && !errors.Is(err, ErrRelationExists) {
+			t.Fatal(err)
+		}
+		if err := db.Insert(a.Name, ins.Relations[i].Rows()...); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// fourCycleSrc writes the 4-cycle in ascending-variable argument order so
+// catalog columns line up with the workload instance's storage.
+const fourCycleSrc = `Q(A1,A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A1,A4).`
+const booleanFourCycleSrc = `Q() :- R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A1,A4).`
+const triangleSrc = `Q(A,B,C) :- R(A,B), S(B,C), T(A,C).`
+const pathRuleSrc = `T1(A1,A2,A3) v T2(A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4).`
+
+// TestDBParityFourCycle: the deprecated EvalFull wrapper, the programmatic
+// DB path and the textual catalog path agree on the paper's running
+// example — rows, bound and non-emptiness.
+func TestDBParityFourCycle(t *testing.T) {
+	q := FourCycleQuery()
+	ins := CycleWorstCase(q, 12)
+
+	out, rr, err := EvalFull(q, ins, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open()
+	defer db.Close()
+	res, err := db.Eval(q, ins, nil, WithMode(ModeFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.SortedRows(), res.Rows()) {
+		t.Fatalf("DB.Eval diverges from EvalFull: %d vs %d rows", out.Size(), res.Size())
+	}
+	if rr.Bound.Cmp(res.Bound) != 0 || res.Width.Cmp(res.Bound) != 0 {
+		t.Fatalf("bounds diverge: %v vs %v (width %v)", rr.Bound, res.Bound, res.Width)
+	}
+	if res.Mode != ModeFull || !res.OK {
+		t.Fatalf("mode %v ok %v", res.Mode, res.OK)
+	}
+
+	loadCatalog(t, db, &q.Schema, ins)
+	tres, err := db.Query(fourCycleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out.SortedRows(), tres.Rows()) {
+		t.Fatalf("db.Query diverges from EvalFull: %d vs %d rows", out.Size(), tres.Size())
+	}
+}
+
+// TestDBParityBooleanFourCycle: EvalSubw wrapper vs DB paths on the
+// Boolean variant.
+func TestDBParityBooleanFourCycle(t *testing.T) {
+	q := BooleanFourCycle()
+	ins := CycleWorstCase(q, 16)
+
+	_, ans, stats, err := EvalSubw(q, ins, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open()
+	defer db.Close()
+	res, err := db.Eval(q, ins, nil, WithMode(ModeSubw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rel != nil || res.OK != ans || res.Mode != ModeSubw {
+		t.Fatalf("DB boolean diverges: rel=%v ok=%v mode=%v", res.Rel, res.OK, res.Mode)
+	}
+	if res.Stats.MaxIntermediate != stats.MaxIntermediate {
+		t.Fatalf("stats diverge: %d vs %d", res.Stats.MaxIntermediate, stats.MaxIntermediate)
+	}
+	loadCatalog(t, db, &q.Schema, ins)
+	tres, err := db.Query(booleanFourCycleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.Rel != nil || tres.OK != ans {
+		t.Fatalf("textual boolean diverges: rel=%v ok=%v", tres.Rel, tres.OK)
+	}
+}
+
+// TestDBParityTriangle: Eval and EvalFhtw wrappers vs DB paths on the
+// triangle join.
+func TestDBParityTriangle(t *testing.T) {
+	q := TriangleQuery()
+	ins := RandomInstance(8, &q.Schema, 50, 12)
+
+	want, wantOK, err := Eval(q, ins, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open()
+	defer db.Close()
+	res, err := db.Eval(q, ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK != wantOK || !reflect.DeepEqual(want.SortedRows(), res.Rows()) {
+		t.Fatalf("DB.Eval diverges from Eval: %d vs %d rows", want.Size(), res.Size())
+	}
+	fw, fOK, _, err := EvalFhtw(q, ins, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fres, err := db.Eval(q, ins, nil, WithMode(ModeFhtw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fres.OK != fOK || !reflect.DeepEqual(fw.SortedRows(), fres.Rows()) || fres.Mode != ModeFhtw {
+		t.Fatal("DB fhtw diverges from EvalFhtw")
+	}
+	loadCatalog(t, db, &q.Schema, ins)
+	tres, err := db.Query(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.SortedRows(), tres.Rows()) {
+		t.Fatal("textual triangle diverges")
+	}
+}
+
+// TestDBParityPathRule: EvalRule wrapper vs DB paths on the Example 1.4
+// disjunctive rule — same bound, same model tables.
+func TestDBParityPathRule(t *testing.T) {
+	p := PathRule()
+	ins := RandomInstance(5, &p.Schema, 30, 6)
+
+	rr, err := EvalRule(p, ins, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := Open()
+	defer db.Close()
+	res, err := db.EvalRule(p, ins, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mode != ModeRule || res.Bound.Cmp(rr.Bound) != 0 || res.Width.Cmp(rr.Bound) != 0 {
+		t.Fatalf("rule result shape: mode=%v bound=%v want %v", res.Mode, res.Bound, rr.Bound)
+	}
+	if len(res.Tables) != len(rr.Tables) {
+		t.Fatalf("%d tables vs %d", len(res.Tables), len(rr.Tables))
+	}
+	for b, tb := range rr.Tables {
+		if !tb.Equal(res.Tables[b]) {
+			t.Fatalf("table %v diverges", b)
+		}
+	}
+	ok, err := ins.IsModel(p, res.Tables)
+	if err != nil || !ok {
+		t.Fatalf("DB rule tables are not a model: %v %v", ok, err)
+	}
+
+	loadCatalog(t, db, &p.Schema, ins)
+	tres, err := db.Query(pathRuleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tres.Mode != ModeRule || tres.Bound.Cmp(rr.Bound) != 0 {
+		t.Fatalf("textual rule bound %v, want %v", tres.Bound, rr.Bound)
+	}
+	ok, err = ins.IsModel(p, tres.Tables)
+	if err != nil || !ok {
+		t.Fatalf("textual rule tables are not a model: %v %v", ok, err)
+	}
+}
+
+// TestDBRenamedQueryCacheHit: a query that merely renames variables is
+// answered from the plan cache with zero additional LP solves.
+func TestDBRenamedQueryCacheHit(t *testing.T) {
+	q := TriangleQuery()
+	ins := RandomInstance(11, &q.Schema, 40, 10)
+	db := Open(WithPlannerCapacity(8))
+	defer db.Close()
+	loadCatalog(t, db, &q.Schema, ins)
+
+	first, err := db.Query(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := db.PlannerStats()
+	if s0.Misses == 0 || s0.LPSolves == 0 {
+		t.Fatalf("first query should have planned: %v", s0)
+	}
+	renamed, err := db.Query(`Q(X,Y,Z) :- R(X,Y), S(Y,Z), T(X,Z).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := db.PlannerStats()
+	if s1.Hits != s0.Hits+1 || s1.Misses != s0.Misses || s1.LPSolves != s0.LPSolves || s1.PlansBuilt != s0.PlansBuilt {
+		t.Fatalf("renamed query was not a free cache hit: %v then %v", s0, s1)
+	}
+	if !reflect.DeepEqual(first.Rows(), renamed.Rows()) {
+		t.Fatal("renamed query answer diverges")
+	}
+}
+
+// TestDBCatalog exercises the catalog lifecycle and its sentinel errors.
+func TestDBCatalog(t *testing.T) {
+	db := Open()
+	if err := db.CreateRelation("R", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateRelation("R", 2); !errors.Is(err, ErrRelationExists) {
+		t.Fatalf("duplicate create: %v", err)
+	}
+	if err := db.CreateRelation("bad", 0); !errors.Is(err, ErrArity) {
+		t.Fatalf("zero arity: %v", err)
+	}
+	if err := db.Insert("R", []Value{1, 2}, []Value{1, 2}, []Value{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("R", []Value{1}); !errors.Is(err, ErrArity) {
+		t.Fatalf("bad arity insert: %v", err)
+	}
+	if err := db.Insert("missing", []Value{1, 2}); !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("insert into missing: %v", err)
+	}
+	infos, err := db.Relations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "R" || infos[0].Arity != 2 || infos[0].Size != 2 {
+		t.Fatalf("catalog: %+v", infos)
+	}
+	if err := db.DropRelation("R"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropRelation("R"); !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("double drop: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateRelation("S", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("create after close: %v", err)
+	}
+	if _, err := db.Query("Q(A,B) :- S(A,B)."); !errors.Is(err, ErrClosed) {
+		t.Fatalf("query after close: %v", err)
+	}
+	if _, err := db.Relations(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("relations after close: %v", err)
+	}
+}
+
+// TestDBLoadCSV: reader ingest with comments, dedupe and inferred arity;
+// mismatched rows fail with ErrArity.
+func TestDBLoadCSV(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	n, err := db.LoadCSV("R", strings.NewReader("1,2\n# comment\n\n 1 , 2 \n3,4\n"))
+	if err != nil || n != 3 {
+		t.Fatalf("LoadCSV: n=%d err=%v", n, err)
+	}
+	infos, err := db.Relations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Arity != 2 || infos[0].Size != 2 { // dedupe kept 2
+		t.Fatalf("after CSV: %+v", infos)
+	}
+	if _, err := db.LoadCSV("R", strings.NewReader("1,2,3\n")); !errors.Is(err, ErrArity) {
+		t.Fatalf("ragged row: %v", err)
+	}
+	if _, err := db.LoadCSV("X", strings.NewReader("1,z\n")); err == nil {
+		t.Fatal("non-integer accepted")
+	}
+	// Failed loads are atomic: no partial rows, no auto-created relation.
+	if _, err := db.LoadCSV("R", strings.NewReader("9,9\n1,2,3\n")); !errors.Is(err, ErrArity) {
+		t.Fatalf("ragged file: %v", err)
+	}
+	got, err := db.Relations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Size != 2 {
+		t.Fatalf("failed load was not atomic: %+v", got)
+	}
+}
+
+// TestStmtSnapshotInvalidation: a prepared statement reuses its bound
+// snapshot while the catalog is unchanged and rebinds after a mutation.
+func TestStmtSnapshotInvalidation(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	if err := db.CreateRelation("R", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("R", []Value{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare("Q(A,B) :- R(A,B).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := stmt.Query()
+	if err != nil || r1.Size() != 1 {
+		t.Fatalf("first query: %v %v", r1, err)
+	}
+	r2, err := stmt.Query()
+	if err != nil || r2.Size() != 1 {
+		t.Fatalf("cached query: %v %v", r2, err)
+	}
+	if err := db.Insert("R", []Value{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := stmt.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r3.Rows(), [][]Value{{1, 2}, {3, 4}}) {
+		t.Fatalf("snapshot not invalidated by insert: %v", r3.Rows())
+	}
+	if err := db.DropRelation("R"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.Query(); !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("query after drop: %v", err)
+	}
+}
+
+// TestDBLoadCSVDir: the data-dir convention loads one relation per file.
+func TestDBLoadCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{"R.csv": "1,2\n", "S.csv": "2,3\n2,4\n"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db := Open()
+	defer db.Close()
+	if err := db.LoadCSVDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("Q(A,B,C) :- R(A,B), S(B,C).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Rows(), [][]Value{{1, 2, 3}, {1, 2, 4}}) {
+		t.Fatalf("rows: %v", res.Rows())
+	}
+	if err := db.LoadCSVDir(t.TempDir()); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}
+
+// TestDBSentinelErrors: the query path reports structured errors callers
+// can dispatch on with errors.Is.
+func TestDBSentinelErrors(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	if _, err := db.Prepare("Q(A,B) :- R(A,B)."); !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("unknown relation: %v", err)
+	}
+	if err := db.CreateRelation("R", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Prepare("Q(A,B) :- R(A,B)."); !errors.Is(err, ErrArity) {
+		t.Fatalf("arity mismatch: %v", err)
+	}
+	if err := db.DropRelation("R"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateRelation("R", 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Prepare("T1(A) v T2(B) :- R(A,B).", WithMode(ModeSubw)); !errors.Is(err, ErrNotConjunctive) {
+		t.Fatalf("mode on rule: %v", err)
+	}
+	if _, err := db.Query("Q(A) :- R(A,B).", WithMode(ModeFull)); err == nil {
+		t.Fatal("ModeFull accepted a projection query")
+	}
+	// Planning without cardinality constraints leaves the LP unbounded.
+	if _, err := NewPlanner(4).Prepare(TriangleQuery(), nil); !errors.Is(err, ErrUnboundedLP) {
+		t.Fatalf("unbounded LP: %v", err)
+	}
+	q := PathRule()
+	if _, err := RuleBound(q, []Constraint{Cardinality(Vars(0, 1), 8, 0)}); !errors.Is(err, ErrUnboundedLP) {
+		t.Fatalf("unbounded rule bound: %v", err)
+	}
+}
+
+// TestDBArgumentOrderBinding: atom argument order is honored when binding
+// catalog rows — R(B,A) reads stored columns as (B, A).
+func TestDBArgumentOrderBinding(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	if err := db.CreateRelation("R", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("R", []Value{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("Q(A,B) :- R(B,A).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Rows(), [][]Value{{2, 1}}) {
+		t.Fatalf("argument order ignored: %v", res.Rows())
+	}
+	// A repeated variable is the diagonal selection.
+	if err := db.Insert("R", []Value{5, 5}); err != nil {
+		t.Fatal(err)
+	}
+	diag, err := db.Query("Q(A) :- R(A,A).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(diag.Rows(), [][]Value{{5}}) {
+		t.Fatalf("diagonal selection: %v", diag.Rows())
+	}
+}
+
+// TestDBConcurrent: concurrent Query, Prepare+Query and Insert traffic on
+// one session is race-free (run under -race in CI) and stays correct. The
+// writes go to a relation the query does not reference: mutating a
+// referenced relation changes its instance-derived cardinality constraint,
+// which is part of the plan-cache key, so those queries would replan (by
+// design) and the hit-count assertion would depend on scheduling.
+func TestDBConcurrent(t *testing.T) {
+	q := TriangleQuery()
+	ins := RandomInstance(21, &q.Schema, 30, 8)
+	db := Open()
+	defer db.Close()
+	loadCatalog(t, db, &q.Schema, ins)
+	if err := db.CreateRelation("W", 2); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			for i := 0; i < 4; i++ {
+				if g%2 == 0 {
+					if _, err := db.Query(triangleSrc); err != nil {
+						done <- err
+						return
+					}
+				} else {
+					if _, err := stmt.Query(); err != nil {
+						done <- err
+						return
+					}
+				}
+				if err := db.Insert("W", []Value{Value(100 + g), Value(200 + i)}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.PlannerStats()
+	if st.Misses != 1 || st.Hits != 31 {
+		t.Fatalf("32 queries over an unchanged catalog should be 1 miss + 31 hits: %v", st)
+	}
+}
+
+// TestDefaultPlannerLifecycle: SetDefaultPlannerCapacity resets the shared
+// cache behind the deprecated helpers, and DefaultPlannerStats observes it.
+func TestDefaultPlannerLifecycle(t *testing.T) {
+	defer SetDefaultPlannerCapacity(0) // leave a fresh default for other tests
+	SetDefaultPlannerCapacity(4)
+	if st := DefaultPlannerStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("fresh default planner has counters: %v", st)
+	}
+	q := TriangleQuery()
+	ins := RandomInstance(3, &q.Schema, 20, 6)
+	if _, _, err := Eval(q, ins, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st := DefaultPlannerStats()
+	if st.Misses == 0 {
+		t.Fatalf("Eval did not go through the default planner: %v", st)
+	}
+	if _, _, err := Eval(q, ins, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	st2 := DefaultPlannerStats()
+	if st2.Hits != st.Hits+1 || st2.LPSolves != st.LPSolves {
+		t.Fatalf("repeat Eval was not a free cache hit: %v then %v", st, st2)
+	}
+	SetDefaultPlannerCapacity(4)
+	if st := DefaultPlannerStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("reset did not clear counters: %v", st)
+	}
+}

@@ -1,40 +1,24 @@
 package panda
 
-import (
-	"fmt"
-)
-
 // Eval answers any conjunctive query:
 //
 //   - full queries via PANDA + semijoin reduction (Corollary 7.10),
 //   - Boolean queries via the submodular-width plan (Theorem 1.9),
-//   - proper projection queries by evaluating the full join at the
-//     submodular width and projecting onto the free variables. (The paper's
+//   - proper projection queries by evaluating the join at the submodular
+//     width and projecting onto the free variables. (The paper's
 //     free-connex refinement of Section 8 would avoid materializing the
 //     full join; see the discussion there.)
 //
 // The returned relation is nil for Boolean queries; the bool answers
 // non-emptiness in every case.
+//
+// Deprecated: use DB.Eval (programmatic queries) or DB.Query (textual
+// queries); the ModeAuto dispatch is identical and the unified Result also
+// carries the width certificate and stats.
 func Eval(q *Query, ins *Instance, dcs []Constraint, opt Options) (*Relation, bool, error) {
-	switch {
-	case q.IsBoolean():
-		_, ans, _, err := EvalSubw(q, ins, dcs, opt)
-		return nil, ans, err
-	case q.IsFull():
-		out, _, err := EvalFull(q, ins, dcs, opt)
-		if err != nil {
-			return nil, false, err
-		}
-		return out, out.Size() > 0, nil
-	default:
-		if !q.Free.SubsetOf(AllVars(q.NumVars)) {
-			return nil, false, fmt.Errorf("panda: free set %v outside universe", q.Free)
-		}
-		full, _, _, err := EvalSubw(&Query{Schema: q.Schema, Free: AllVars(q.NumVars)}, ins, dcs, opt)
-		if err != nil {
-			return nil, false, err
-		}
-		out := full.Project(q.Free)
-		return out, out.Size() > 0, nil
+	res, err := pkgDB().Eval(q, ins, dcs, WithMode(ModeAuto), withOptions(opt))
+	if err != nil {
+		return nil, false, err
 	}
+	return res.Rel, res.OK, nil
 }

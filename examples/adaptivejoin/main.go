@@ -15,6 +15,8 @@ import (
 
 func main() {
 	q := panda.BooleanFourCycle()
+	db := panda.Open()
+	defer db.Close()
 	fmt.Println("Boolean 4-cycle on R12=R34=[m]×[1], R23=R41=[1]×[m]")
 	fmt.Println("m      tree-plan max-int   time        PANDA-subw max-int   time")
 	for _, m := range []int{32, 64, 128, 256} {
@@ -28,18 +30,18 @@ func main() {
 		treeTime := time.Since(t0)
 
 		t0 = time.Now()
-		_, ansPanda, stats, err := panda.EvalSubw(q, ins, nil, panda.Options{})
+		res, err := db.Eval(q, ins, nil, panda.WithMode(panda.ModeSubw))
 		if err != nil {
 			log.Fatal(err)
 		}
 		pandaTime := time.Since(t0)
 
-		if !ansTree || !ansPanda {
+		if !ansTree || !res.OK {
 			log.Fatalf("m=%d: both must report a cycle", m)
 		}
 		fmt.Printf("%-6d %-19d %-11v %-20d %v\n",
 			m, st.MaxIntermediate, treeTime.Round(time.Microsecond),
-			stats.MaxIntermediate, pandaTime.Round(time.Microsecond))
+			res.Stats.MaxIntermediate, pandaTime.Round(time.Microsecond))
 	}
 	fmt.Println("\ntree-plan grows like m²; PANDA-subw like m^{3/2} (Theorem 1.9).")
 }

@@ -18,6 +18,8 @@ import (
 
 func main() {
 	p := panda.PathRule()
+	db := panda.Open()
+	defer db.Close()
 	for _, m := range []int{16, 64, 256, 1024} {
 		ins := panda.NewInstance(&p.Schema)
 		for i := 0; i < m; i++ {
@@ -26,7 +28,7 @@ func main() {
 			ins.Relations[1].Insert([]panda.Value{0, v}) // R23 = [1]×[m]
 			ins.Relations[2].Insert([]panda.Value{v, 0}) // R34 = [m]×[1]
 		}
-		res, err := panda.EvalRule(p, ins, nil, panda.Options{Trace: m == 16})
+		res, err := db.EvalRule(p, ins, nil, panda.WithTrace(m == 16))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,5 +1,14 @@
-// Quickstart: declare the paper's 4-cycle query (Example 1.2), compute its
-// size bounds and width parameters, and evaluate it with PANDA.
+// Quickstart for the DB session API: open a session, ingest the paper's
+// 4-cycle worst case (Example 1.10) into the catalog, and answer the query
+// text — full and Boolean — through one unified Query path. Size bounds
+// and width parameters round out the tour.
+//
+// Migrating from the historical free functions:
+//
+//	EvalFull(q, ins, dcs, opt) → db.Eval(q, ins, dcs, WithMode(ModeFull))
+//	EvalSubw(q, ins, dcs, opt) → db.Eval(q, ins, dcs, WithMode(ModeSubw))
+//	EvalRule(p, ins, dcs, opt) → db.EvalRule(p, ins, dcs)
+//	Prepare / PrepareFor       → db.Prepare(src) / db.Planner()
 package main
 
 import (
@@ -11,27 +20,61 @@ import (
 )
 
 func main() {
-	// Q(A1,A2,A3,A4) ← R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A4,A1).
-	q := panda.FourCycleQuery()
+	// Q(A1,A2,A3,A4) ← R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A1,A4):
+	// the 4-cycle of Example 1.2, over the adversarial instance of
+	// Example 1.10 with m = 64 (R12 = R34 = [m]×[1], R23 = R41 = [1]×[m]).
+	const m = 64
+	db := panda.Open()
+	defer db.Close()
+	for _, name := range []string{"R12", "R23", "R34", "R41"} {
+		if err := db.CreateRelation(name, 2); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for i := int64(0); i < m; i++ {
+		for name, row := range map[string][]panda.Value{
+			"R12": {i, 0}, "R23": {0, i}, "R34": {i, 0}, "R41": {i, 0},
+		} {
+			if err := db.Insert(name, row); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
 
-	// The adversarial instance of Example 1.10 with m = 64:
-	// R12 = R34 = [m]×[1], R23 = R41 = [1]×[m].
-	m := 64
-	ins := panda.CycleWorstCase(q, m)
-
-	// Size bounds under the instance's cardinality constraints.
-	dcs := panda.InstanceCardinalities(&q.Schema, ins)
-	rep, err := panda.Bounds(q, dcs)
+	// Prepare once; the session's plan cache makes repeats free.
+	stmt, err := db.Prepare(`Q(A1,A2,A3,A4) :- R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A1,A4).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := stmt.Query()
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("4-cycle query, all |R| =", m)
+	fmt.Printf("  |Q| = %d (= m² = %d), PANDA bound 2^%v, max intermediate %d\n",
+		res.Size(), m*m, res.Bound.FloatString(3), res.Stats.MaxIntermediate)
+
+	// The Boolean variant runs at the submodular width: intermediates stay
+	// near N^{3/2} instead of N² (Example 1.10).
+	bres, err := db.Query(`Q() :- R12(A1,A2), R23(A2,A3), R34(A3,A4), R41(A1,A4).`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Boolean 4-cycle: %v via %v, max intermediate %d (m^1.5 = %.0f, m² = %d)\n",
+		bres.OK, bres.Mode, bres.Stats.MaxIntermediate, math.Pow(float64(m), 1.5), m*m)
+
+	// Size bounds under the instance's cardinality constraints, and the
+	// Figure 4 width hierarchy — the analysis side of the facade.
+	q := panda.FourCycleQuery()
+	dcs := panda.InstanceCardinalities(&q.Schema, panda.CycleWorstCase(q, m))
+	rep, err := panda.Bounds(q, dcs)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("  vertex bound      : 2^%v\n", rep.Vertex.FloatString(3))
 	fmt.Printf("  integral cover ρ  : 2^%v\n", rep.IntegralCover.FloatString(3))
 	fmt.Printf("  AGM bound ρ*      : 2^%v\n", rep.AGM.FloatString(3))
 	fmt.Printf("  polymatroid bound : 2^%v\n", rep.Polymatroid.FloatString(3))
-
-	// Width parameters (Figure 4 / Corollary 7.5 hierarchy).
 	w, err := panda.Widths(q)
 	if err != nil {
 		log.Fatal(err)
@@ -39,21 +82,10 @@ func main() {
 	fmt.Printf("  widths: tw=%d ghtw=%d fhtw=%v subw=%v adw=%v\n",
 		w.Treewidth, w.GHTW, w.FHTW.RatString(), w.Subw.RatString(), w.Adw.RatString())
 
-	// Evaluate with PANDA (Corollary 7.10) — output is exactly Q.
-	out, res, err := panda.EvalFull(q, ins, nil, panda.Options{})
-	if err != nil {
+	// Cache effectiveness: re-running the prepared statement (or any
+	// renaming of the query) costs zero LP solves.
+	if _, err := stmt.Query(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  |Q| = %d (= m² = %d), PANDA bound 2^%v, max intermediate %d\n",
-		out.Size(), m*m, res.Bound.FloatString(3), res.Stats.MaxIntermediate)
-
-	// The submodular-width plan answers the Boolean variant while keeping
-	// intermediates near N^{3/2} instead of N² (Example 1.10).
-	qb := panda.BooleanFourCycle()
-	_, ans, stats, err := panda.EvalSubw(qb, panda.CycleWorstCase(qb, m), nil, panda.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("  Boolean 4-cycle: %v, max intermediate %d (m^1.5 = %.0f, m² = %d)\n",
-		ans, stats.MaxIntermediate, math.Pow(float64(m), 1.5), m*m)
+	fmt.Printf("  planner: %v\n", db.PlannerStats())
 }

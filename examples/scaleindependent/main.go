@@ -30,6 +30,8 @@ func main() {
 	}
 	q := &panda.Query{Schema: s, Free: panda.AllVars(3)}
 	rng := rand.New(rand.NewSource(1))
+	db := panda.Open()
+	defer db.Close()
 
 	fmt.Println("users in DB   |Follows|   |Posts|   bound   |answers(u)|   max intermediate")
 	for _, users := range []int{100, 1000, 10000} {
@@ -56,14 +58,14 @@ func main() {
 		if err := panda.CheckInstance(&s, ins, dcs); err != nil {
 			log.Fatal(err)
 		}
-		out, res, err := panda.EvalFull(q, ins, dcs, panda.Options{})
+		res, err := db.Eval(q, ins, dcs, panda.WithMode(panda.ModeFull))
 		if err != nil {
 			log.Fatal(err)
 		}
 		b, _ := res.Bound.Float64()
 		fmt.Printf("%-13d %-11d %-9d 2^%-5.1f %-14d %d\n",
 			users, ins.Relations[1].Size(), ins.Relations[2].Size(),
-			b, out.Size(), res.Stats.MaxIntermediate)
+			b, res.Size(), res.Stats.MaxIntermediate)
 		if math.Pow(2, b) > maxFollows*maxPosts*1.01 {
 			log.Fatalf("bound exceeded the scale-independent budget of %d", maxFollows*maxPosts)
 		}

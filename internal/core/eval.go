@@ -169,6 +169,8 @@ func dedupeSets(in []bitset.Set) []bitset.Set {
 }
 
 // ExecResult is the outcome of executing a reified plan over an instance.
+// Every mode fills Out/NonEmpty/Width/Mode/Stats uniformly, so callers can
+// assemble a mode-independent answer without reaching back into the plan.
 type ExecResult struct {
 	// Out is the output relation; nil for Boolean queries.
 	Out *relation.Relation
@@ -178,6 +180,10 @@ type ExecResult struct {
 	Tables map[bitset.Set]*relation.Relation
 	// Bound is the rule's polymatroid bound (ModeFull only).
 	Bound *big.Rat
+	// Width is the executed plan's width certificate in log₂ units.
+	Width *big.Rat
+	// Mode is the strategy the executed plan encoded.
+	Mode plan.Mode
 	// Stats accumulates the engine work across all executed rules.
 	Stats *Stats
 }
@@ -186,6 +192,15 @@ type ExecResult struct {
 // instance. The plan is treated as immutable: concurrent Execute calls on a
 // shared plan are safe.
 func Execute(p *plan.Plan, ins *query.Instance, opt Options) (*ExecResult, error) {
+	ex, err := execute(p, ins, opt)
+	if err != nil {
+		return nil, err
+	}
+	ex.Width, ex.Mode = p.Width, p.Mode
+	return ex, nil
+}
+
+func execute(p *plan.Plan, ins *query.Instance, opt Options) (*ExecResult, error) {
 	if len(ins.Relations) != len(p.Schema.Atoms) {
 		return nil, fmt.Errorf("core: instance has %d relations for %d atoms",
 			len(ins.Relations), len(p.Schema.Atoms))

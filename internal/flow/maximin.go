@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"errors"
 	"fmt"
 	"math/big"
 
@@ -8,6 +9,12 @@ import (
 	"panda/internal/lp"
 	"panda/internal/setfunc"
 )
+
+// ErrUnbounded reports that the polymatroid-bound LP is unbounded: the
+// constraint set does not bound every target, typically because an atom
+// lacks a cardinality constraint. The facade re-exports it as
+// panda.ErrUnboundedLP.
+var ErrUnbounded = errors.New("flow: bound is unbounded (+∞)")
 
 // DC is a degree constraint (X, Y, N_{Y|X}) in log form: h(Y|X) ≤ LogN.
 // Cardinality constraints have X = ∅; FDs have LogN = 0.
@@ -164,7 +171,7 @@ func MaximinBound(n int, dcs []DC, targets []bitset.Set) (*MaximinResult, error)
 	case lp.Infeasible:
 		// Dual infeasible ⟺ the primal max is unbounded: the constraints do
 		// not bound some target.
-		return nil, fmt.Errorf("flow: bound is unbounded (+∞): constraints do not bound every target")
+		return nil, fmt.Errorf("%w: constraints do not bound every target", ErrUnbounded)
 	default:
 		return nil, fmt.Errorf("flow: unexpected LP status %v", sol.Status)
 	}

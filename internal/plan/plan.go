@@ -49,6 +49,10 @@ const (
 	ModeSubw
 )
 
+// ModeRule marks results produced by a disjunctive datalog rule rather
+// than a conjunctive plan; it is never a valid planning mode.
+const ModeRule Mode = -1
+
 func (m Mode) String() string {
 	switch m {
 	case ModeAuto:
@@ -57,6 +61,8 @@ func (m Mode) String() string {
 		return "full"
 	case ModeFhtw:
 		return "fhtw"
+	case ModeRule:
+		return "rule"
 	default:
 		return "subw"
 	}

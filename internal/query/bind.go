@@ -1,0 +1,90 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"panda/internal/relation"
+)
+
+// Named-relation binding: a catalog (any store of named tables) is bound to
+// a schema by looking up each atom's relation by name and permuting stored
+// rows — which are in the atom's declared argument order — into the sorted
+// variable order the relational layer uses. This is the seam between a
+// long-lived session owning named relations and the positional Instance the
+// evaluators consume.
+
+// Binding errors. Callers compare with errors.Is; the facade re-exports
+// them as panda.ErrUnknownRelation and panda.ErrArity.
+var (
+	ErrUnknownRelation = errors.New("query: unknown relation")
+	ErrArity           = errors.New("query: arity mismatch")
+)
+
+// ArgOrder returns atom i's variable indices in declared argument order:
+// Args when the parser recorded them, the ascending variable order of Vars
+// otherwise. The length of the result is the atom's declared arity.
+func (s *Schema) ArgOrder(i int) []int {
+	a := s.Atoms[i]
+	if a.Args != nil {
+		return a.Args
+	}
+	return a.Vars.Vars()
+}
+
+// Arity returns atom i's declared arity (repeated variables count per
+// occurrence).
+func (s *Schema) Arity(i int) int { return len(s.ArgOrder(i)) }
+
+// Lookup resolves a relation name to its stored rows and arity. Rows must
+// be in the declared argument order of the atoms naming the relation.
+type Lookup func(name string) (rows [][]relation.Value, arity int, ok bool)
+
+// BindInstance builds an Instance for s from named tables: each atom's
+// relation is resolved by name and its rows are permuted from declared
+// argument order into sorted variable order. Atoms sharing a name share the
+// stored rows (a self-join reads one table twice). An atom with a repeated
+// variable, R(A,A), binds only the rows whose repeated positions agree —
+// the selection the atom denotes.
+//
+// Errors wrap ErrUnknownRelation (no table of that name) or ErrArity (the
+// table's arity differs from the atom's declared arity).
+func BindInstance(s *Schema, lookup Lookup) (*Instance, error) {
+	ins := NewInstance(s)
+	for i, a := range s.Atoms {
+		rows, arity, ok := lookup(a.Name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownRelation, a.Name)
+		}
+		order := s.ArgOrder(i)
+		if arity != len(order) {
+			return nil, fmt.Errorf("%w: relation %s has arity %d, atom %s needs %d",
+				ErrArity, a.Name, arity, a.Name, len(order))
+		}
+		vars := a.Vars.Vars()
+		pos := make(map[int]int, len(vars))
+		for j, v := range vars {
+			pos[v] = j
+		}
+		t := make([]relation.Value, len(vars))
+		set := make([]bool, len(vars))
+		for _, row := range rows {
+			for j := range set {
+				set[j] = false
+			}
+			match := true
+			for k, v := range order {
+				j := pos[v]
+				if set[j] && t[j] != row[k] {
+					match = false // repeated variable with unequal values
+					break
+				}
+				t[j], set[j] = row[k], true
+			}
+			if match {
+				ins.Relations[i].Insert(t)
+			}
+		}
+	}
+	return ins, nil
+}

@@ -56,14 +56,30 @@ func Parse(src string) (*ParseResult, error) {
 		}
 		return s, nil
 	}
-	parseAtom := func(text string) (string, bitset.Set, error) {
+	// parseAtom returns the atom name, the argument variable indices in
+	// declared order (nil for an empty argument list) and their set.
+	parseAtom := func(text string) (string, []int, bitset.Set, error) {
 		open := strings.Index(text, "(")
 		if open < 0 || !strings.HasSuffix(text, ")") {
-			return "", 0, fmt.Errorf("query: malformed atom %q", text)
+			return "", nil, 0, fmt.Errorf("query: malformed atom %q", text)
 		}
 		name := strings.TrimSpace(text[:open])
-		vars, err := parseVarList(text[open+1 : len(text)-1])
-		return name, vars, err
+		list := strings.TrimSpace(text[open+1 : len(text)-1])
+		if list == "" {
+			return name, nil, 0, nil
+		}
+		var args []int
+		var s bitset.Set
+		for _, v := range strings.Split(list, ",") {
+			v = strings.TrimSpace(v)
+			if v == "" {
+				return "", nil, 0, fmt.Errorf("query: empty variable name")
+			}
+			i := getVar(v)
+			args = append(args, i)
+			s = s.Add(i)
+		}
+		return name, args, s, nil
 	}
 
 	for ln, raw := range strings.Split(src, "\n") {
@@ -83,7 +99,7 @@ func Parse(src string) (*ParseResult, error) {
 			var targets []bitset.Set
 			headAtoms := splitAtoms(head, " v ")
 			for _, h := range headAtoms {
-				_, vars, err := parseAtom(h)
+				_, _, vars, err := parseAtom(h)
 				if err != nil {
 					return nil, fmt.Errorf("line %d: %v", ln+1, err)
 				}
@@ -91,14 +107,14 @@ func Parse(src string) (*ParseResult, error) {
 			}
 			var atoms []Atom
 			for _, a := range splitAtoms(body, ",") {
-				name, vars, err := parseAtom(a)
+				name, args, vars, err := parseAtom(a)
 				if err != nil {
 					return nil, fmt.Errorf("line %d: %v", ln+1, err)
 				}
 				if vars == 0 {
 					return nil, fmt.Errorf("line %d: body atom %s has no variables", ln+1, name)
 				}
-				atoms = append(atoms, Atom{Name: name, Vars: vars})
+				atoms = append(atoms, Atom{Name: name, Vars: vars, Args: args})
 			}
 			schema = &Schema{NumVars: len(varNames), Atoms: atoms}
 			if len(headAtoms) == 1 {

@@ -20,6 +20,11 @@ import (
 type Atom struct {
 	Name string
 	Vars bitset.Set
+	// Args records the variable index at each declared argument position
+	// (set by Parse; repeated variables allowed). Nil means the declared
+	// order is the ascending variable order of Vars — the convention of
+	// programmatically built schemas.
+	Args []int
 }
 
 // Schema is the shared shape of queries and rules: a variable universe with

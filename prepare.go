@@ -2,6 +2,7 @@ package panda
 
 import (
 	"math/big"
+	"sync"
 
 	"panda/internal/core"
 	"panda/internal/flow"
@@ -109,11 +110,18 @@ func (pq *PreparedQuery) Eval(ins *Instance, opt Options) (*Relation, bool, *Sta
 	if err != nil {
 		return nil, false, nil, err
 	}
-	out := ex.Out
-	if out != nil && pq.p.Free != 0 && pq.p.Free != out.Attrs() {
-		out = out.Project(pq.p.Free)
+	return projectFree(ex.Out, pq.p.Free), ex.NonEmpty, ex.Stats, nil
+}
+
+// projectFree projects an execution output onto the query's free variables
+// when it is a proper projection (non-full, non-Boolean); full and Boolean
+// results pass through. Shared by PreparedQuery.Eval and the DB path so
+// the two surfaces cannot diverge.
+func projectFree(out *Relation, free Set) *Relation {
+	if out != nil && free != 0 && free != out.Attrs() {
+		return out.Project(free)
 	}
-	return out, ex.NonEmpty, ex.Stats, nil
+	return out
 }
 
 // Plan exposes the reified plan for introspection.
@@ -134,18 +142,56 @@ func (pq *PreparedQuery) Mode() PlanMode { return pq.p.Mode }
 // each bag).
 func (pq *PreparedQuery) Covers() ([]PlanCover, error) { return pq.p.Covers() }
 
-// defaultPlanner backs the package-level Prepare helpers.
-var defaultPlanner = NewPlanner(0)
+// The default planner: one process-wide plan cache backing the deprecated
+// package-level helpers (Prepare, PrepareFor, Eval, EvalFull, EvalFhtw,
+// EvalSubw, EvalRule). All of them share a single LRU — a plan prepared
+// through any of these entry points is a cache hit for every other. A DB
+// opened with Open does NOT share it: each session owns its own Planner
+// (size it with WithPlannerCapacity). Long-lived processes that stay on
+// the package-level helpers can size or reset the shared cache with
+// SetDefaultPlannerCapacity and watch it with DefaultPlannerStats.
+var (
+	defaultMu      sync.Mutex
+	defaultSession = newSession(NewPlanner(0))
+)
+
+// pkgDB returns the catalog-less session the deprecated package-level
+// helpers run through.
+func pkgDB() *DB {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	return defaultSession
+}
+
+// SetDefaultPlannerCapacity replaces the process-wide default planner with
+// a fresh one holding up to capacity plans (0 selects the default
+// capacity). Cached plans and counters are discarded; in-flight calls
+// finish against the planner they started with.
+func SetDefaultPlannerCapacity(capacity int) {
+	defaultMu.Lock()
+	defer defaultMu.Unlock()
+	defaultSession = newSession(NewPlanner(capacity))
+}
+
+// DefaultPlannerStats snapshots the process-wide default planner's
+// hit/miss/eviction/LP counters.
+func DefaultPlannerStats() PlannerStats { return pkgDB().PlannerStats() }
 
 // Prepare plans q with the process-wide default planner (shared LRU cache).
+//
+// Deprecated: open a DB and use DB.Prepare (textual queries) or
+// DB.Planner().Prepare (programmatic queries) so the cache lifecycle is
+// owned by a session instead of the process.
 func Prepare(q *Query, dcs []Constraint) (*PreparedQuery, error) {
-	return defaultPlanner.Prepare(q, dcs)
+	return pkgDB().planner.Prepare(q, dcs)
 }
 
 // PrepareFor plans q with the default planner, deriving missing atom
 // cardinalities from the instance.
+//
+// Deprecated: open a DB and use DB.Prepare or DB.Planner().PrepareFor.
 func PrepareFor(q *Query, ins *Instance, dcs []Constraint) (*PreparedQuery, error) {
-	return defaultPlanner.PrepareFor(q, ins, dcs)
+	return pkgDB().planner.PrepareFor(q, ins, dcs)
 }
 
 // PrepareRule runs the planning phase for a disjunctive rule: the
@@ -160,4 +206,26 @@ func PrepareRule(p *Rule, dcs []Constraint) (*RulePlan, error) {
 // missing, producing the complete constraint set the planner needs.
 func CompleteConstraints(s *Schema, ins *Instance, dcs []Constraint) []Constraint {
 	return core.CompleteConstraints(s, ins, dcs)
+}
+
+// DefaultCardinalities appends |R| ≤ n for every atom lacking a declared
+// cardinality constraint, so data-independent planning (panda plan, Bounds)
+// has a bounded LP even before any data exists. It returns the completed
+// set and the names of the atoms the default was assumed for.
+func DefaultCardinalities(s *Schema, dcs []Constraint, n int64) ([]Constraint, []string) {
+	have := map[Set]bool{}
+	for _, c := range dcs {
+		if c.IsCardinality() {
+			have[c.Y] = true
+		}
+	}
+	out := append([]Constraint(nil), dcs...)
+	var assumed []string
+	for i, a := range s.Atoms {
+		if !have[a.Vars] {
+			out = append(out, Cardinality(a.Vars, n, i))
+			assumed = append(assumed, a.Name)
+		}
+	}
+	return out, assumed
 }

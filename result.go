@@ -1,0 +1,69 @@
+package panda
+
+import (
+	"fmt"
+	"math/big"
+
+	"panda/internal/plan"
+)
+
+// ModeRule marks a Result produced by a disjunctive datalog rule rather
+// than one of the conjunctive plan modes.
+const ModeRule = plan.ModeRule
+
+// Result is the unified outcome of every DB query path — full, Boolean and
+// projection conjunctive queries and disjunctive datalog rules all produce
+// one shape, replacing the historical (*Relation, *RuleResult), (*Relation,
+// bool, *Stats) and (*RuleResult) return zoos.
+type Result struct {
+	// Rel is the output relation over the query's free variables; nil for
+	// Boolean queries and for disjunctive rules (see Tables).
+	Rel *Relation
+	// OK answers non-emptiness in every case: the Boolean answer, |Rel| >
+	// 0, or — for a rule — whether any target table is non-empty.
+	OK bool
+	// Width is the width certificate of the executed strategy in log₂
+	// units: the polymatroid bound (ModeFull and rules), da-fhtw
+	// (ModeFhtw) or da-subw (ModeSubw).
+	Width *big.Rat
+	// Mode is the strategy that produced the result (ModeRule for
+	// disjunctive rules).
+	Mode PlanMode
+	// Tables holds the per-target model tables of the underlying PANDA
+	// rule: every target for disjunctive rules, the raw (pre-semijoin)
+	// full table for ModeFull, nil otherwise.
+	Tables map[Set]*Relation
+	// Bound is the polymatroid bound of the executed rule in log₂ units
+	// (ModeFull and rules), nil otherwise.
+	Bound *big.Rat
+	// Stats accumulates the engine work across all executed rules.
+	Stats *Stats
+}
+
+// Rows returns the output tuples in deterministic sorted order; nil when
+// the result has no output relation.
+func (r *Result) Rows() [][]Value {
+	if r.Rel == nil {
+		return nil
+	}
+	return r.Rel.SortedRows()
+}
+
+// Size returns |Rel|, or 0 when the result has no output relation.
+func (r *Result) Size() int {
+	if r.Rel == nil {
+		return 0
+	}
+	return r.Rel.Size()
+}
+
+func (r *Result) String() string {
+	switch {
+	case r.Mode == ModeRule:
+		return fmt.Sprintf("rule result: %d tables, bound 2^%s", len(r.Tables), r.Bound.FloatString(4))
+	case r.Rel == nil:
+		return fmt.Sprintf("boolean result: %v (%s)", r.OK, r.Mode)
+	default:
+		return fmt.Sprintf("%d tuples (%s)", r.Rel.Size(), r.Mode)
+	}
+}

@@ -1,0 +1,148 @@
+package panda
+
+import (
+	"fmt"
+	"sync"
+
+	"panda/internal/query"
+)
+
+// Stmt is a prepared statement: a parsed query or rule whose catalog
+// bindings (relation names and arities) have been validated against the
+// session. Running it plans through the session's cached Planner — the
+// first Query pays the LP solves, every later one (from this Stmt or any
+// other statement with the same canonical signature) executes with zero
+// planning work.
+//
+// A Stmt is safe for concurrent Query calls. It memoizes the bound (and
+// constraint-checked) instance against the catalog's mutation counter, so
+// repeated queries over an unchanged catalog skip the snapshot copy as
+// well as the planning work.
+type Stmt struct {
+	db  *DB
+	src string
+	res *query.ParseResult
+	cfg config
+
+	mu       sync.Mutex
+	boundIns *Instance
+	boundVer uint64
+}
+
+// Prepare parses src (the textual query language of internal/query) and
+// validates every body atom against the catalog, failing early with
+// ErrUnknownRelation or ErrArity. Options captured here become the
+// statement's defaults; Stmt.Query may override them per call.
+func (db *DB) Prepare(src string, opts ...Option) (*Stmt, error) {
+	res, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if res.Conj == nil {
+		if err := rejectExplicitMode(opts); err != nil {
+			return nil, err
+		}
+	}
+	cfg := db.cfg(opts)
+	s := &res.Rule.Schema
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	for i, a := range s.Atoms {
+		t, ok := db.catalog[a.Name]
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownRelation, a.Name)
+		}
+		if got, want := t.Attrs().Card(), s.Arity(i); got != want {
+			return nil, fmt.Errorf("%w: relation %s has arity %d, atom %s needs %d",
+				ErrArity, a.Name, got, a.Name, want)
+		}
+	}
+	return &Stmt{db: db, src: src, res: res, cfg: cfg}, nil
+}
+
+// Query binds the current catalog contents to the statement's schema,
+// verifies the declared constraints against the data, and runs the query:
+// cache-hit planning (via the session Planner) plus execution for
+// conjunctive queries, PANDA for disjunctive rules. The Result shape is
+// the same in every case.
+func (st *Stmt) Query(opts ...Option) (*Result, error) {
+	if st.res.Conj == nil {
+		if err := rejectExplicitMode(opts); err != nil {
+			return nil, err
+		}
+	}
+	cfg := st.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ins, err := st.bind()
+	if err != nil {
+		return nil, err
+	}
+	if st.res.Conj != nil {
+		return st.db.evalConjunctive(st.res.Conj, ins, st.res.Constraints, cfg)
+	}
+	return st.db.evalRule(st.res.Rule, ins, st.res.Constraints, cfg)
+}
+
+// bind returns the statement's schema bound to the current catalog,
+// reusing the previous snapshot (already constraint-checked) while the
+// catalog version is unchanged. Bound instances are read-only during
+// execution, so one snapshot may serve concurrent Query calls.
+func (st *Stmt) bind() (*Instance, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ver, err := st.db.catalogVersion()
+	if err != nil {
+		return nil, err
+	}
+	if st.boundIns != nil && st.boundVer == ver {
+		return st.boundIns, nil
+	}
+	s := &st.res.Rule.Schema
+	ins, ver, err := st.db.bindInstance(s)
+	if err != nil {
+		return nil, err
+	}
+	if err := ins.Check(s, st.res.Constraints); err != nil {
+		return nil, err
+	}
+	st.boundIns, st.boundVer = ins, ver
+	return ins, nil
+}
+
+// rejectExplicitMode fails with ErrNotConjunctive when the per-call
+// options force a plan mode on a disjunctive rule. Only an explicit
+// WithMode in opts counts: a session-wide WithMode default set at Open
+// applies to the conjunctive queries it can apply to and is ignored for
+// rules, as WithMode documents.
+func rejectExplicitMode(opts []Option) error {
+	var per config
+	for _, o := range opts {
+		o(&per)
+	}
+	if per.mode != ModeAuto {
+		return fmt.Errorf("%w: WithMode applies to conjunctive queries", ErrNotConjunctive)
+	}
+	return nil
+}
+
+// Source returns the statement's query text.
+func (st *Stmt) Source() string { return st.src }
+
+// IsRule reports whether the statement is a disjunctive datalog rule
+// (multi-target head) rather than a conjunctive query.
+func (st *Stmt) IsRule() bool { return st.res.Conj == nil }
+
+// Constraints returns the degree constraints declared in the query text.
+func (st *Stmt) Constraints() []Constraint { return st.res.Constraints }
+
+// Schema returns the parsed schema (variable names, atoms).
+func (st *Stmt) Schema() *Schema { return &st.res.Rule.Schema }
+
+// Close releases the statement. It exists for database/sql symmetry; a
+// Stmt holds no resources beyond its parse tree.
+func (st *Stmt) Close() error { return nil }
