@@ -6,9 +6,11 @@
 package panda
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/big"
+	"runtime"
 	"testing"
 
 	"panda/internal/baseline"
@@ -389,6 +391,36 @@ func BenchmarkPreparedVsUnprepared(b *testing.B) {
 			st := pl.Stats()
 			if st.Hits != uint64(b.N) {
 				b.Fatalf("expected %d cache hits, got %v", b.N, st)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelExecute measures the parallel bag-execution fan-out on
+// the Boolean 4-cycle worst case (a subw plan with one PANDA rule per
+// minimal bag transversal): the same cached plan executed sequentially
+// (P=1) and through the bounded worker pool (P=NumCPU). The merge is
+// deterministic, so both produce identical answers; the shape (parallel
+// wall clock ≤ sequential on multi-rule plans) is the target.
+func BenchmarkParallelExecute(b *testing.B) {
+	q := workload.BooleanFourCycle()
+	ins := workload.CycleWorstCase(q, 192)
+	db := Open()
+	defer db.Close()
+	// Warm the plan cache so both arms measure pure execution.
+	if _, err := db.Eval(q, ins, nil); err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("P=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := db.EvalContext(context.Background(), q, ins, nil, WithParallelism(par))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.OK {
+					b.Fatal("worst-case cycle instance reported empty")
+				}
 			}
 		})
 	}

@@ -8,9 +8,13 @@
 //
 //	panda bounds  <query-file>
 //	panda widths  <query-file>
-//	panda eval    <query-file> <data-dir>   # data-dir holds <Atom>.csv files
-//	panda explain <query-file>              # proof sequence / plan trace
-//	panda plan    <query-file>              # reified prepared-query plan
+//	panda eval    [-j N] [-timeout D] <query-file> <data-dir>
+//	panda explain [-timeout D] <query-file>         # proof sequence / plan trace
+//	panda plan    [-timeout D] <query-file>         # reified prepared-query plan
+//
+// -j bounds how many independent rule executions run concurrently (0 picks
+// the number of CPUs); -timeout aborts evaluation after a duration (e.g.
+// 30s) via context cancellation.
 //
 // The query language (see internal/query):
 //
@@ -22,13 +26,16 @@
 package main
 
 import (
+	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"log"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -53,10 +60,22 @@ var errUsage = errors.New("usage")
 // run dispatches one CLI invocation, writing its report to w. Factored out
 // of main so the end-to-end tests can drive the exact production path.
 func run(args []string, w io.Writer) error {
-	if len(args) < 2 {
+	if len(args) < 1 {
 		return errUsage
 	}
-	cmd, file := args[0], args[1]
+	cmd := args[0]
+	fs := flag.NewFlagSet("panda "+cmd, flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	jobs := fs.Int("j", 1, "parallel rule executions per query (0 = NumCPU)")
+	timeout := fs.Duration("timeout", 0, "abort evaluation after this duration (0 = none)")
+	if err := fs.Parse(args[1:]); err != nil {
+		return errUsage
+	}
+	rest := fs.Args()
+	if len(rest) < 1 {
+		return errUsage
+	}
+	file := rest[0]
 	src, err := os.ReadFile(file)
 	if err != nil {
 		return err
@@ -65,20 +84,40 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// Reject flags a subcommand does not honor instead of silently
+	// ignoring them: only eval executes rules in parallel, and the pure
+	// analysis commands (bounds, widths) have no cancellable phase. The
+	// check runs on the user-supplied value, before -j 0 is normalized to
+	// NumCPU, so rejection does not depend on the core count.
+	if *jobs != 1 && cmd != "eval" {
+		return fmt.Errorf("flag -j applies to eval only")
+	}
+	if *timeout > 0 && (cmd == "bounds" || cmd == "widths") {
+		return fmt.Errorf("flag -timeout applies to eval, explain and plan")
+	}
+	if *jobs == 0 {
+		*jobs = runtime.NumCPU()
+	}
 	switch cmd {
 	case "bounds":
 		return cmdBounds(w, res)
 	case "widths":
 		return cmdWidths(w, res)
 	case "eval":
-		if len(args) < 3 {
+		if len(rest) < 2 {
 			return errUsage
 		}
-		return cmdEval(w, res, string(src), args[2])
+		return cmdEval(ctx, w, res, string(src), rest[1], *jobs)
 	case "explain":
-		return cmdExplain(w, res)
+		return cmdExplain(ctx, w, res)
 	case "plan":
-		return cmdPlan(w, res)
+		return cmdPlan(ctx, w, res)
 	default:
 		return errUsage
 	}
@@ -88,9 +127,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   panda bounds  <query-file>
   panda widths  <query-file>
-  panda eval    <query-file> <data-dir>
-  panda explain <query-file>
-  panda plan    <query-file>`)
+  panda eval    [-j N] [-timeout D] <query-file> <data-dir>
+  panda explain [-timeout D] <query-file>
+  panda plan    [-timeout D] <query-file>`)
 	os.Exit(2)
 }
 
@@ -130,7 +169,7 @@ func printRulePlan(w io.Writer, s *query.Schema, idx int, rp *panda.RulePlan) {
 	}
 }
 
-func cmdPlan(w io.Writer, res *query.ParseResult) error {
+func cmdPlan(ctx context.Context, w io.Writer, res *query.ParseResult) error {
 	s := &res.Rule.Schema
 	dcs, assumed := panda.DefaultCardinalities(s, res.Constraints, defaultCard)
 	if len(assumed) > 0 {
@@ -146,7 +185,11 @@ func cmdPlan(w io.Writer, res *query.ParseResult) error {
 		printRulePlan(w, s, 0, rp)
 		return nil
 	}
-	pq, err := panda.Prepare(res.Conj, dcs)
+	// Plan through a fresh session planner so the cache ops counters below
+	// describe exactly this invocation's planning work; -timeout bounds
+	// the LP solves through the context.
+	pl := panda.NewPlanner(0)
+	pq, err := pl.PrepareModeContext(ctx, res.Conj, dcs, panda.ModeAuto)
 	if err != nil {
 		return err
 	}
@@ -189,6 +232,9 @@ func cmdPlan(w io.Writer, res *query.ParseResult) error {
 	for i, rp := range p.Rules {
 		printRulePlan(w, s, i, rp)
 	}
+	// Cache ops counters: what this plan cost (lp-solves) and what a
+	// server reusing the cache would save per hit (lp-saved accumulates).
+	fmt.Fprintf(w, "planner   : %v\n", pl.Stats())
 	return nil
 }
 
@@ -251,14 +297,16 @@ func cmdWidths(w io.Writer, res *query.ParseResult) error {
 }
 
 // cmdEval is the DB path end to end: ingest each referenced <Atom>.csv
-// into a session catalog, run the query text through Prepare + Query,
-// print the unified result. Every head shape — full, Boolean, proper
-// projection (which previously fell through to the disjunctive branch and
-// printed T_ tables) and disjunctive rules — routes through the same
-// call. Only the atoms the query names are loaded, so unrelated files in
-// the data directory are ignored; a relation's CSV may be empty (the atom
-// arity comes from the query), but it must exist.
-func cmdEval(w io.Writer, parsed *query.ParseResult, src, dir string) error {
+// into a session catalog, run the query text through Prepare +
+// QueryContext, print the unified result. Every head shape — full,
+// Boolean, proper projection (which previously fell through to the
+// disjunctive branch and printed T_ tables) and disjunctive rules — routes
+// through the same call. Only the atoms the query names are loaded, so
+// unrelated files in the data directory are ignored; a relation's CSV may
+// be empty (the atom arity comes from the query), but it must exist. The
+// context carries the -timeout deadline; -j sets the rule-execution
+// parallelism.
+func cmdEval(ctx context.Context, w io.Writer, parsed *query.ParseResult, src, dir string, jobs int) error {
 	db := panda.Open()
 	defer db.Close()
 	s := &parsed.Rule.Schema
@@ -273,7 +321,7 @@ func cmdEval(w io.Writer, parsed *query.ParseResult, src, dir string) error {
 		if err != nil {
 			return fmt.Errorf("relation %s: %w", a.Name, err)
 		}
-		_, err = db.LoadCSV(a.Name, f)
+		_, err = db.LoadCSVContext(ctx, a.Name, f)
 		f.Close()
 		if err != nil {
 			return err
@@ -283,7 +331,7 @@ func cmdEval(w io.Writer, parsed *query.ParseResult, src, dir string) error {
 	if err != nil {
 		return err
 	}
-	res, err := stmt.Query()
+	res, err := stmt.QueryContext(ctx, panda.WithParallelism(jobs))
 	if err != nil {
 		return err
 	}
@@ -321,13 +369,13 @@ func printRows(w io.Writer, rows [][]panda.Value) {
 	}
 }
 
-func cmdExplain(w io.Writer, res *query.ParseResult) error {
+func cmdExplain(ctx context.Context, w io.Writer, res *query.ParseResult) error {
 	// Build a small synthetic instance to drive the planner and show the
 	// operator trace.
 	ins := panda.RandomInstance(1, &res.Rule.Schema, 32, 8)
 	db := panda.Open()
 	defer db.Close()
-	r, err := db.EvalRule(res.Rule, ins, res.Constraints, panda.WithTrace(true))
+	r, err := db.EvalRuleContext(ctx, res.Rule, ins, res.Constraints, panda.WithTrace(true))
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -52,8 +54,10 @@ func TestEvalGolden(t *testing.T) {
 		t.Errorf("eval full:\n got %q\nwant %q", got, want)
 	}
 	// The routing fix: a proper projection prints projected answer rows.
+	// Cost-based ModeAuto picks fhtw here: the query is acyclic, so the
+	// fhtw and subw certificates tie and the cheaper plan wins.
 	if got, want := runCLI(t, "eval", q("proj.q"), dir),
-		"# |Q| = 1  (subw 2^1.000, max intermediate 0)\n1,5\n"; got != want {
+		"# |Q| = 1  (fhtw 2^1.000, max intermediate 0)\n1,5\n"; got != want {
 		t.Errorf("eval projection:\n got %q\nwant %q", got, want)
 	}
 	if got, want := runCLI(t, "eval", q("bool.q"), dir),
@@ -97,9 +101,27 @@ rule 0: T_ABC
     1·d[AB,B]
     1·s[AB,BC]
     1·c[BC,ABC]
+planner   : hits=0 misses=1 evictions=0 lp-solves=1 lp-saved=0 plans-built=1
 `
 	if got != want {
 		t.Errorf("plan:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestEvalFlags: -j fans the independent rule executions out without
+// changing the printed result, and -timeout aborts evaluation through
+// context cancellation with the context's error.
+func TestEvalFlags(t *testing.T) {
+	dir := writeWorkdir(t)
+	q := filepath.Join(dir, "bool.q")
+	seq := runCLI(t, "eval", q, dir)
+	par := runCLI(t, "eval", "-j", "0", q, dir)
+	if par != seq {
+		t.Errorf("parallel eval diverges:\n got %q\nwant %q", par, seq)
+	}
+	var buf strings.Builder
+	if err := run([]string{"eval", "-timeout", "1ns", q, dir}, &buf); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("timeout: got %v, want context.DeadlineExceeded", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package panda
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -20,9 +21,13 @@ import (
 // catalog of named relations (create / insert / CSV ingest / drop) and a
 // shared Planner, and answers the textual query language through one
 // unified path — db.Prepare(src) parses a query into a *Stmt, and
-// stmt.Query() / db.Query(src) run cache-hit planning plus execution,
-// returning a single *Result shape for full, Boolean and projection
-// conjunctive queries and disjunctive datalog rules alike.
+// stmt.QueryContext(ctx) / db.QueryContext(ctx, src) run cache-hit planning
+// plus execution, returning a single *Result shape for full, Boolean and
+// projection conjunctive queries and disjunctive datalog rules alike. The
+// context-free Query/Eval forms delegate with context.Background();
+// serving-grade callers should pass a context so queries honor
+// cancellation and deadlines, and may set WithParallelism to fan a plan's
+// independent rule executions out across goroutines.
 //
 // A DB is safe for concurrent use by multiple goroutines. The planning
 // phase (LP solves, proof sequences, decomposition choice) is cached in the
@@ -45,9 +50,10 @@ type DB struct {
 // options replace the bare Options struct at the DB surface; Open sets
 // session defaults and each Query/Eval call may override them.
 type config struct {
-	mode       PlanMode
-	core       Options
-	plannerCap int
+	mode        PlanMode
+	core        Options
+	parallelism int
+	plannerCap  int
 }
 
 // Option tunes a DB (at Open) or a single query run (at Prepare / Query /
@@ -55,10 +61,12 @@ type config struct {
 type Option func(*config)
 
 // WithMode selects the evaluation strategy: ModeAuto (default) picks
-// ModeFull for full queries and ModeSubw otherwise; ModeFull / ModeFhtw /
-// ModeSubw force a strategy. Disjunctive rules take no mode: an explicit
-// per-call WithMode on a rule fails with ErrNotConjunctive, while a
-// session-wide default set at Open is ignored for rules.
+// ModeFull for full queries and otherwise compares the exact fhtw and
+// subw width certificates, committing the smaller (ties go to the cheaper
+// fhtw execution); ModeFull / ModeFhtw / ModeSubw force a strategy.
+// Disjunctive rules take no mode: an explicit per-call WithMode on a rule
+// fails with ErrNotConjunctive, while a session-wide default set at Open
+// is ignored for rules.
 func WithMode(m PlanMode) Option { return func(c *config) { c.mode = m } }
 
 // WithTrace records one line per relational operation in Result.Stats.Trace.
@@ -71,6 +79,14 @@ func WithCheckInvariants(on bool) Option { return func(c *config) { c.core.Check
 // WithBudgetDisabled turns off the 2^OBJ composition budget (the ablation
 // switch): outputs stay correct but the runtime guarantee is forfeited.
 func WithBudgetDisabled(on bool) Option { return func(c *config) { c.core.DisableBudget = on } }
+
+// WithParallelism bounds how many of a plan's independent per-bag
+// (ModeFhtw) and per-transversal (ModeSubw) rule executions may run
+// concurrently; n ≤ 1 (the default) executes sequentially. The fan-out is
+// deterministic — per-rule results are merged in rule order, so the output
+// rows, OK answer, Width and Stats are byte-identical to a sequential run.
+// Usable both as a session default at Open and per call.
+func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
 
 // WithPlannerCapacity sizes the session's plan-cache LRU (0 selects the
 // default capacity). Effective at Open only.
@@ -191,12 +207,18 @@ func (db *DB) Insert(name string, rows ...[]Value) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownRelation, name)
 	}
+	// Validate every row before mutating so the insert is atomic: a
+	// partial insert that errored out would otherwise leave the catalog
+	// changed without a version bump, and cached statement snapshots
+	// would keep serving the pre-insert state.
 	arity := t.Attrs().Card()
 	for _, row := range rows {
 		if len(row) != arity {
 			return fmt.Errorf("%w: tuple %v has %d values, relation %s needs %d",
 				ErrArity, row, len(row), name, arity)
 		}
+	}
+	for _, row := range rows {
 		t.Insert(row)
 	}
 	db.version++
@@ -222,12 +244,23 @@ func (db *DB) Relations() ([]RelationInfo, error) {
 
 // ---- CSV ingest (lifted out of cmd/panda) ----
 
-// LoadCSV reads comma-separated integer tuples into the named relation,
-// creating it (with the first row's arity) when absent. Blank lines and
-// lines starting with # are skipped. The load is atomic: on any parse or
-// arity error nothing is inserted and no relation is created. It returns
-// the number of data rows read (before set-semantics deduplication).
+// LoadCSV reads comma-separated integer tuples into the named relation; it
+// is LoadCSVContext under context.Background().
 func (db *DB) LoadCSV(name string, r io.Reader) (int, error) {
+	return db.LoadCSVContext(context.Background(), name, r)
+}
+
+// LoadCSVContext reads comma-separated integer tuples into the named
+// relation, creating it (with the first row's arity) when absent. Blank
+// lines and lines starting with # are skipped. The load is atomic: on any
+// parse or arity error — or a cancelled context — nothing is inserted and
+// no relation is created. It returns the number of data rows read (before
+// set-semantics deduplication). Cancellation is checked periodically while
+// parsing, so a large ingest aborts promptly with ctx.Err().
+func (db *DB) LoadCSVContext(ctx context.Context, name string, r io.Reader) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return 0, err
@@ -236,6 +269,11 @@ func (db *DB) LoadCSV(name string, r io.Reader) (int, error) {
 	var rows [][]Value
 	var lines []int
 	for ln, line := range strings.Split(string(data), "\n") {
+		if ln%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -255,6 +293,9 @@ func (db *DB) LoadCSV(name string, r io.Reader) (int, error) {
 		}
 		rows = append(rows, row)
 		lines = append(lines, ln+1)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -351,33 +392,52 @@ func (db *DB) bindInstance(s *Schema) (*Instance, uint64, error) {
 
 // ---- Query paths ----
 
-// Query parses and runs src against the catalog: Prepare + Stmt.Query in
-// one call. Repeated traffic still hits the plan cache — the planner keys
-// on the canonical query signature, not on the Stmt identity.
-func (db *DB) Query(src string, opts ...Option) (*Result, error) {
+// QueryContext parses and runs src against the catalog: Prepare +
+// Stmt.QueryContext in one call. The context governs both planning (a
+// cache miss abandons its LP solves when ctx expires) and execution (the
+// engine checks cancellation between proof steps); a cancelled or expired
+// context aborts the query with ctx.Err(). Repeated traffic still hits the
+// plan cache — the planner keys on the canonical query signature, not on
+// the Stmt identity.
+func (db *DB) QueryContext(ctx context.Context, src string, opts ...Option) (*Result, error) {
 	stmt, err := db.Prepare(src, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return stmt.Query()
+	return stmt.QueryContext(ctx)
 }
 
-// Eval runs a programmatically built conjunctive query against an explicit
-// instance, sharing the session's plan cache. Missing atom cardinalities
-// are derived from the instance; dcs may be nil.
+// Query is QueryContext under context.Background().
+func (db *DB) Query(src string, opts ...Option) (*Result, error) {
+	return db.QueryContext(context.Background(), src, opts...)
+}
+
+// EvalContext runs a programmatically built conjunctive query against an
+// explicit instance under ctx, sharing the session's plan cache. Missing
+// atom cardinalities are derived from the instance; dcs may be nil.
+func (db *DB) EvalContext(ctx context.Context, q *Query, ins *Instance, dcs []Constraint, opts ...Option) (*Result, error) {
+	return db.evalConjunctive(ctx, q, ins, dcs, db.cfg(opts))
+}
+
+// Eval is EvalContext under context.Background().
 func (db *DB) Eval(q *Query, ins *Instance, dcs []Constraint, opts ...Option) (*Result, error) {
-	return db.evalConjunctive(q, ins, dcs, db.cfg(opts))
+	return db.EvalContext(context.Background(), q, ins, dcs, opts...)
 }
 
-// EvalRule runs PANDA on a programmatically built disjunctive rule against
-// an explicit instance, returning the unified Result shape (Mode ==
-// ModeRule; the model lives in Result.Tables). An explicit WithMode in
-// opts fails with ErrNotConjunctive.
-func (db *DB) EvalRule(p *Rule, ins *Instance, dcs []Constraint, opts ...Option) (*Result, error) {
+// EvalRuleContext runs PANDA on a programmatically built disjunctive rule
+// against an explicit instance under ctx, returning the unified Result
+// shape (Mode == ModeRule; the model lives in Result.Tables). An explicit
+// WithMode in opts fails with ErrNotConjunctive.
+func (db *DB) EvalRuleContext(ctx context.Context, p *Rule, ins *Instance, dcs []Constraint, opts ...Option) (*Result, error) {
 	if err := rejectExplicitMode(opts); err != nil {
 		return nil, err
 	}
-	return db.evalRule(p, ins, dcs, db.cfg(opts))
+	return db.evalRule(ctx, p, ins, dcs, db.cfg(opts))
+}
+
+// EvalRule is EvalRuleContext under context.Background().
+func (db *DB) EvalRule(p *Rule, ins *Instance, dcs []Constraint, opts ...Option) (*Result, error) {
+	return db.EvalRuleContext(context.Background(), p, ins, dcs, opts...)
 }
 
 func (db *DB) isClosed() bool {
@@ -386,18 +446,23 @@ func (db *DB) isClosed() bool {
 	return db.closed
 }
 
-func (db *DB) evalConjunctive(q *Query, ins *Instance, dcs []Constraint, cfg config) (*Result, error) {
+// executor materializes the core executor one call runs with.
+func (cfg config) executor() *core.Executor {
+	return &core.Executor{Parallelism: cfg.parallelism, Opt: cfg.core}
+}
+
+func (db *DB) evalConjunctive(ctx context.Context, q *Query, ins *Instance, dcs []Constraint, cfg config) (*Result, error) {
 	if db.isClosed() {
 		return nil, ErrClosed
 	}
 	if cfg.mode == ModeFull && !q.IsFull() {
 		return nil, fmt.Errorf("panda: ModeFull needs a full query (free %s)", q.VarLabel(q.Free))
 	}
-	p, err := db.planner.inner.Prepare(q, core.CompleteConstraints(&q.Schema, ins, dcs), cfg.mode)
+	p, err := db.planner.inner.PrepareContext(ctx, q, core.CompleteConstraints(&q.Schema, ins, dcs), cfg.mode)
 	if err != nil {
 		return nil, err
 	}
-	ex, err := core.Execute(p, ins, cfg.core)
+	ex, err := cfg.executor().Execute(ctx, p, ins)
 	if err != nil {
 		return nil, err
 	}
@@ -417,11 +482,11 @@ func (db *DB) evalConjunctive(q *Query, ins *Instance, dcs []Constraint, cfg con
 	}, nil
 }
 
-func (db *DB) evalRule(p *Rule, ins *Instance, dcs []Constraint, cfg config) (*Result, error) {
+func (db *DB) evalRule(ctx context.Context, p *Rule, ins *Instance, dcs []Constraint, cfg config) (*Result, error) {
 	if db.isClosed() {
 		return nil, ErrClosed
 	}
-	res, err := core.EvalDisjunctive(p, ins, dcs, cfg.core)
+	res, err := cfg.executor().EvalDisjunctive(ctx, p, ins, dcs)
 	if err != nil {
 		return nil, err
 	}

@@ -215,6 +215,27 @@ func TestDBRenamedQueryCacheHit(t *testing.T) {
 	}
 }
 
+// TestInsertAtomic: a batch containing an arity error inserts nothing — a
+// partial insert would mutate the catalog without bumping its version, so
+// cached statement snapshots and fresh queries would see different data.
+func TestInsertAtomic(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	if err := db.CreateRelation("R", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("R", []Value{1, 2}, []Value{3}); !errors.Is(err, ErrArity) {
+		t.Fatalf("mixed-arity batch: got %v, want ErrArity", err)
+	}
+	infos, err := db.Relations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infos[0].Size != 0 {
+		t.Fatalf("failed batch left %d rows behind", infos[0].Size)
+	}
+}
+
 // TestDBCatalog exercises the catalog lifecycle and its sentinel errors.
 func TestDBCatalog(t *testing.T) {
 	db := Open()

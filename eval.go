@@ -3,18 +3,20 @@ package panda
 // Eval answers any conjunctive query:
 //
 //   - full queries via PANDA + semijoin reduction (Corollary 7.10),
-//   - Boolean queries via the submodular-width plan (Theorem 1.9),
-//   - proper projection queries by evaluating the join at the submodular
-//     width and projecting onto the free variables. (The paper's
-//     free-connex refinement of Section 8 would avoid materializing the
-//     full join; see the discussion there.)
+//   - Boolean and proper projection queries via the cost-based ModeAuto
+//     choice: the planner builds both the fhtw (Corollary 7.11) and subw
+//     (Theorem 1.9) candidates and commits the one with the smaller exact
+//     width certificate; projections are projected onto the free
+//     variables. (The paper's free-connex refinement of Section 8 would
+//     avoid materializing the full join; see the discussion there.)
 //
 // The returned relation is nil for Boolean queries; the bool answers
 // non-emptiness in every case.
 //
-// Deprecated: use DB.Eval (programmatic queries) or DB.Query (textual
-// queries); the ModeAuto dispatch is identical and the unified Result also
-// carries the width certificate and stats.
+// Deprecated: use DB.Eval / DB.EvalContext (programmatic queries) or
+// DB.Query / DB.QueryContext (textual queries); the ModeAuto dispatch is
+// identical and the unified Result also carries the width certificate and
+// stats.
 func Eval(q *Query, ins *Instance, dcs []Constraint, opt Options) (*Relation, bool, error) {
 	res, err := pkgDB().Eval(q, ins, dcs, WithMode(ModeAuto), withOptions(opt))
 	if err != nil {

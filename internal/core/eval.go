@@ -1,23 +1,24 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
 	"panda/internal/bitset"
-	"panda/internal/flow"
 	"panda/internal/plan"
 	"panda/internal/query"
 	"panda/internal/relation"
-	"panda/internal/yannakakis"
 )
 
 // This file is the data-dependent half of the prepare/execute split: the
 // planning phase (LP solves, proof-sequence construction, decomposition
-// choice) lives in internal/plan and produces a reified plan.Plan; Execute
-// interprets that plan over a concrete instance. EvalDisjunctive, EvalFull,
-// EvalFhtw and EvalSubw are thin wrappers that prepare and execute in one
-// call, preserving their historical signatures and behavior.
+// choice) lives in internal/plan and produces a reified plan.Plan; the
+// Executor in executor.go interprets that plan over a concrete instance
+// under a context. The free functions here — Execute, ExecuteRule,
+// EvalDisjunctive, EvalFull, EvalFhtw, EvalSubw — are thin wrappers that
+// run a sequential Executor under context.Background(), preserving their
+// historical signatures and behavior.
 
 // CompleteConstraints appends (∅, F, |R_F|) for every atom whose exact
 // cardinality constraint is missing — these are always true of the instance
@@ -56,104 +57,20 @@ func trivialResult() *Result {
 }
 
 // ExecuteRule runs the data-dependent phase of one prepared disjunctive
-// rule over an instance: the proof sequence is interpreted step by step by
-// the PANDA engine, with the constraint set bound to the instance's
-// relations as guards. The prepared rule is not mutated, so one rule may be
-// executed concurrently by many goroutines.
+// rule over an instance with a sequential Executor and no cancellation; see
+// Executor.ExecuteRule for the context-aware form.
 func ExecuteRule(s *query.Schema, pr *plan.PreparedRule, cons []query.DegreeConstraint, ins *query.Instance, opt Options) (*Result, error) {
-	if len(ins.Relations) != len(s.Atoms) {
-		return nil, fmt.Errorf("core: instance has %d relations for %d atoms", len(ins.Relations), len(s.Atoms))
-	}
-	if pr.Trivial {
-		return trivialResult(), nil
-	}
-	stats := newStats()
-	e := &engine{
-		n:       s.NumVars,
-		targets: dedupeSets(pr.Targets),
-		objLog:  pr.Bound,
-		opt:     opt,
-		stats:   stats,
-		schema:  s,
-	}
-	e.objFloat, _ = pr.Bound.Float64()
-	// Initial frame: constraints with their guards; supports for the δ
-	// coordinates pick the smallest bound among matching constraints.
-	f := &frame{
-		cons:    make([]rtCon, len(cons)),
-		support: map[flow.Pair]int{},
-		lambda:  pr.Lambda.Clone(),
-		delta:   pr.Delta.Clone(),
-		seq:     pr.Seq,
-	}
-	for i, c := range cons {
-		if c.Guard < 0 || c.Guard >= len(ins.Relations) {
-			return nil, fmt.Errorf("core: constraint on %v lacks a guard atom", c.Y)
-		}
-		f.cons[i] = rtCon{x: c.X, y: c.Y, logN: c.LogN, guard: ins.Relations[c.Guard]}
-		f.cons[i].nFloat, _ = c.LogN.Float64()
-	}
-	for p0 := range f.delta {
-		for i, c := range f.cons {
-			if c.x == p0.X && c.y == p0.Y {
-				f.setSupport(p0, i, f.cons)
-			}
-		}
-		if _, ok := f.support[p0]; !ok {
-			return nil, fmt.Errorf("core: initial δ%v has no matching constraint", p0)
-		}
-	}
-	tables, err := e.run(f)
-	if err != nil {
-		return nil, err
-	}
-	// Present every target, empty when no subproblem delivered it.
-	for _, b := range e.targets {
-		if _, ok := tables[b]; !ok {
-			tables[b] = relation.New(fmt.Sprintf("T_%s", s.VarLabel(b)), b)
-		}
-	}
-	return &Result{Tables: tables, Bound: pr.Bound, Stats: stats}, nil
+	return (&Executor{Opt: opt}).ExecuteRule(context.Background(), s, pr, cons, ins)
 }
 
-// EvalDisjunctive runs PANDA (Algorithm 1) on a disjunctive datalog rule:
-// it solves the polymatroid bound LP (Lemma 5.2), extracts a witness
-// (Proposition 5.4), constructs a proof sequence (Theorem 5.9), and
-// interprets it over the instance. The returned tables form a model of the
-// rule whose per-table sizes are governed by the bound (Theorem 1.7).
+// EvalDisjunctive runs PANDA (Algorithm 1) on a disjunctive datalog rule
+// with a sequential Executor and no cancellation; see
+// Executor.EvalDisjunctive for the context-aware form.
 //
 // Every constraint must be guarded by an atom; callers who only know
 // relation sizes can pass nil dcs (atom cardinalities are always added).
-// This is the one-shot prepare+execute path; callers with repeated traffic
-// should use plan.PrepareRule once and ExecuteRule per instance.
 func EvalDisjunctive(p *query.Disjunctive, ins *query.Instance, dcs []query.DegreeConstraint, opt Options) (*Result, error) {
-	if len(p.Targets) == 0 {
-		return nil, fmt.Errorf("core: rule has no targets")
-	}
-	if len(ins.Relations) != len(p.Atoms) {
-		return nil, fmt.Errorf("core: instance has %d relations for %d atoms", len(ins.Relations), len(p.Atoms))
-	}
-	// A target ∅ admits the trivial minimal model {()} (Section 1.3).
-	for _, b := range p.Targets {
-		if b == 0 {
-			return trivialResult(), nil
-		}
-	}
-	dcs = CompleteConstraints(&p.Schema, ins, dcs)
-	for _, c := range dcs {
-		if c.Guard < 0 || c.Guard >= len(ins.Relations) {
-			return nil, fmt.Errorf("core: constraint on %v lacks a guard atom", c.Y)
-		}
-		if !c.Y.SubsetOf(p.Atoms[c.Guard].Vars) {
-			return nil, fmt.Errorf("core: atom %s cannot guard constraint on %v",
-				p.Atoms[c.Guard].Name, c.Y)
-		}
-	}
-	pr, _, err := plan.PrepareRule(&p.Schema, dcs, p.Targets)
-	if err != nil {
-		return nil, err
-	}
-	return ExecuteRule(&p.Schema, pr, dcs, ins, opt)
+	return (&Executor{Opt: opt}).EvalDisjunctive(context.Background(), p, ins, dcs)
 }
 
 func dedupeSets(in []bitset.Set) []bitset.Set {
@@ -188,123 +105,12 @@ type ExecResult struct {
 	Stats *Stats
 }
 
-// Execute runs the data-dependent phase of a prepared plan over an
-// instance. The plan is treated as immutable: concurrent Execute calls on a
-// shared plan are safe.
+// Execute runs the data-dependent phase of a prepared plan over an instance
+// with a sequential Executor and no cancellation; see Executor.Execute for
+// the context-aware, parallel form. The plan is treated as immutable:
+// concurrent Execute calls on a shared plan are safe.
 func Execute(p *plan.Plan, ins *query.Instance, opt Options) (*ExecResult, error) {
-	ex, err := execute(p, ins, opt)
-	if err != nil {
-		return nil, err
-	}
-	ex.Width, ex.Mode = p.Width, p.Mode
-	return ex, nil
-}
-
-func execute(p *plan.Plan, ins *query.Instance, opt Options) (*ExecResult, error) {
-	if len(ins.Relations) != len(p.Schema.Atoms) {
-		return nil, fmt.Errorf("core: instance has %d relations for %d atoms",
-			len(ins.Relations), len(p.Schema.Atoms))
-	}
-	switch p.Mode {
-	case plan.ModeFull:
-		res, err := ExecuteRule(&p.Schema, p.Rules[0], p.Cons, ins, opt)
-		if err != nil {
-			return nil, err
-		}
-		// Semijoin reduction with every input removes spurious tuples
-		// (Corollary 7.10).
-		t := res.Tables[bitset.Full(p.Schema.NumVars)]
-		for _, r := range ins.Relations {
-			t = t.Semijoin(r)
-		}
-		return &ExecResult{Out: t, NonEmpty: t.Size() > 0, Tables: res.Tables, Bound: res.Bound, Stats: res.Stats}, nil
-
-	case plan.ModeFhtw:
-		td := p.TDs[p.Chosen]
-		stats := newStats()
-		rels := make([]*relation.Relation, len(td.Bags))
-		for i, b := range td.Bags {
-			res, err := ExecuteRule(&p.Schema, p.Rules[i], p.Cons, ins, opt)
-			if err != nil {
-				return nil, err
-			}
-			accumulate(stats, res.Stats)
-			rels[i] = reduceWithInputs(res.Tables[b], ins)
-		}
-		if p.Free == 0 {
-			ok, err := yannakakis.NonEmpty(rels, td.Parent)
-			if err != nil {
-				return nil, err
-			}
-			return &ExecResult{NonEmpty: ok, Stats: stats}, nil
-		}
-		out, err := yannakakis.Join(rels, td.Parent)
-		if err != nil {
-			return nil, err
-		}
-		return &ExecResult{Out: out, NonEmpty: out.Size() > 0, Stats: stats}, nil
-
-	case plan.ModeSubw:
-		stats := newStats()
-		tables := map[bitset.Set]*relation.Relation{}
-		for _, pr := range p.Rules {
-			res, err := ExecuteRule(&p.Schema, pr, p.Cons, ins, opt)
-			if err != nil {
-				return nil, err
-			}
-			accumulate(stats, res.Stats)
-			mergeTables(tables, res.Tables)
-		}
-		// Semijoin-reduce every bag table with the inputs.
-		for b, t := range tables {
-			tables[b] = reduceWithInputs(t, ins)
-		}
-		// Evaluate every decomposition whose bags all have tables; union.
-		var out *relation.Relation
-		answer := false
-		evaluated := 0
-		for ti, td := range p.TDs {
-			rels := make([]*relation.Relation, len(td.Bags))
-			ok := true
-			for i, bi := range p.TDBags[ti] {
-				t, have := tables[p.Bags[bi]]
-				if !have {
-					ok = false
-					break
-				}
-				rels[i] = t
-			}
-			if !ok {
-				continue
-			}
-			evaluated++
-			if p.Free == 0 {
-				ne, err := yannakakis.NonEmpty(rels, td.Parent)
-				if err != nil {
-					return nil, err
-				}
-				answer = answer || ne
-				continue
-			}
-			j, err := yannakakis.Join(rels, td.Parent)
-			if err != nil {
-				return nil, err
-			}
-			if out == nil {
-				out = j
-			} else {
-				out = out.Union(j)
-			}
-		}
-		if evaluated == 0 {
-			return nil, fmt.Errorf("core: no tree decomposition fully covered by transversal bags")
-		}
-		if p.Free == 0 {
-			return &ExecResult{NonEmpty: answer, Stats: stats}, nil
-		}
-		return &ExecResult{Out: out, NonEmpty: out.Size() > 0, Stats: stats}, nil
-	}
-	return nil, fmt.Errorf("core: plan mode %v is not executable", p.Mode)
+	return (&Executor{Opt: opt}).Execute(context.Background(), p, ins)
 }
 
 // reduceWithInputs semijoins t with every input relation sharing attributes.

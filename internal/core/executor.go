@@ -1,0 +1,364 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"panda/internal/bitset"
+	"panda/internal/flow"
+	"panda/internal/plan"
+	"panda/internal/query"
+	"panda/internal/relation"
+	"panda/internal/yannakakis"
+)
+
+// Executor runs the data-dependent phase of prepared plans. It is the
+// context-first execution surface of the engine: an Executor is configured
+// once (parallelism plus the engine tunables in Options) and reused across
+// runs, and every run takes a context.Context that is checked between proof
+// steps, between rule executions, and between Yannakakis passes — a
+// cancelled or expired context aborts the run promptly with ctx.Err().
+//
+// When Parallelism > 1, the independent per-bag (ModeFhtw) and
+// per-transversal (ModeSubw) rule executions fan out across a bounded
+// worker pool. The fan-out is deterministic: per-rule results are merged in
+// rule-index order, so the output relation, OK answer, Width and Stats
+// (including the operator trace) are byte-identical to a sequential run.
+// The first genuine error cancels the sibling executions.
+//
+// The zero value is a valid sequential executor with default Options.
+// Executors are stateless between runs and safe for concurrent use.
+type Executor struct {
+	// Parallelism bounds how many rule executions may run concurrently;
+	// values ≤ 1 mean sequential execution.
+	Parallelism int
+	// Opt tunes every PANDA rule execution (trace, invariant checks,
+	// budget ablation).
+	Opt Options
+}
+
+// ExecuteRule runs the data-dependent phase of one prepared disjunctive
+// rule over an instance: the proof sequence is interpreted step by step by
+// the PANDA engine, with the constraint set bound to the instance's
+// relations as guards, checking ctx between steps. The prepared rule is not
+// mutated, so one rule may be executed concurrently by many goroutines.
+func (ex *Executor) ExecuteRule(ctx context.Context, s *query.Schema, pr *plan.PreparedRule, cons []query.DegreeConstraint, ins *query.Instance) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(ins.Relations) != len(s.Atoms) {
+		return nil, fmt.Errorf("core: instance has %d relations for %d atoms", len(ins.Relations), len(s.Atoms))
+	}
+	if pr.Trivial {
+		return trivialResult(), nil
+	}
+	stats := newStats()
+	e := &engine{
+		ctx:     ctx,
+		n:       s.NumVars,
+		targets: dedupeSets(pr.Targets),
+		objLog:  pr.Bound,
+		opt:     ex.Opt,
+		stats:   stats,
+		schema:  s,
+	}
+	e.objFloat, _ = pr.Bound.Float64()
+	// Initial frame: constraints with their guards; supports for the δ
+	// coordinates pick the smallest bound among matching constraints.
+	f := &frame{
+		cons:    make([]rtCon, len(cons)),
+		support: map[flow.Pair]int{},
+		lambda:  pr.Lambda.Clone(),
+		delta:   pr.Delta.Clone(),
+		seq:     pr.Seq,
+	}
+	for i, c := range cons {
+		if c.Guard < 0 || c.Guard >= len(ins.Relations) {
+			return nil, fmt.Errorf("core: constraint on %v lacks a guard atom", c.Y)
+		}
+		f.cons[i] = rtCon{x: c.X, y: c.Y, logN: c.LogN, guard: ins.Relations[c.Guard]}
+		f.cons[i].nFloat, _ = c.LogN.Float64()
+	}
+	for p0 := range f.delta {
+		for i, c := range f.cons {
+			if c.x == p0.X && c.y == p0.Y {
+				f.setSupport(p0, i, f.cons)
+			}
+		}
+		if _, ok := f.support[p0]; !ok {
+			return nil, fmt.Errorf("core: initial δ%v has no matching constraint", p0)
+		}
+	}
+	tables, err := e.run(f)
+	if err != nil {
+		return nil, err
+	}
+	// Present every target, empty when no subproblem delivered it.
+	for _, b := range e.targets {
+		if _, ok := tables[b]; !ok {
+			tables[b] = relation.New(fmt.Sprintf("T_%s", s.VarLabel(b)), b)
+		}
+	}
+	return &Result{Tables: tables, Bound: pr.Bound, Stats: stats}, nil
+}
+
+// EvalDisjunctive runs PANDA (Algorithm 1) on a disjunctive datalog rule:
+// it solves the polymatroid bound LP (Lemma 5.2), extracts a witness
+// (Proposition 5.4), constructs a proof sequence (Theorem 5.9), and
+// interprets it over the instance, honoring ctx throughout.
+//
+// This is the one-shot prepare+execute path; callers with repeated traffic
+// should use plan.PrepareRule once and ExecuteRule per instance.
+func (ex *Executor) EvalDisjunctive(ctx context.Context, p *query.Disjunctive, ins *query.Instance, dcs []query.DegreeConstraint) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(p.Targets) == 0 {
+		return nil, fmt.Errorf("core: rule has no targets")
+	}
+	if len(ins.Relations) != len(p.Atoms) {
+		return nil, fmt.Errorf("core: instance has %d relations for %d atoms", len(ins.Relations), len(p.Atoms))
+	}
+	// A target ∅ admits the trivial minimal model {()} (Section 1.3).
+	for _, b := range p.Targets {
+		if b == 0 {
+			return trivialResult(), nil
+		}
+	}
+	dcs = CompleteConstraints(&p.Schema, ins, dcs)
+	for _, c := range dcs {
+		if c.Guard < 0 || c.Guard >= len(ins.Relations) {
+			return nil, fmt.Errorf("core: constraint on %v lacks a guard atom", c.Y)
+		}
+		if !c.Y.SubsetOf(p.Atoms[c.Guard].Vars) {
+			return nil, fmt.Errorf("core: atom %s cannot guard constraint on %v",
+				p.Atoms[c.Guard].Name, c.Y)
+		}
+	}
+	pr, _, err := plan.PrepareRuleContext(ctx, &p.Schema, dcs, p.Targets)
+	if err != nil {
+		return nil, err
+	}
+	return ex.ExecuteRule(ctx, &p.Schema, pr, dcs, ins)
+}
+
+// Execute runs the data-dependent phase of a prepared plan over an
+// instance. The plan is treated as immutable: concurrent Execute calls on a
+// shared plan are safe.
+func (ex *Executor) Execute(ctx context.Context, p *plan.Plan, ins *query.Instance) (*ExecResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := ex.execute(ctx, p, ins)
+	if err != nil {
+		return nil, err
+	}
+	res.Width, res.Mode = p.Width, p.Mode
+	return res, nil
+}
+
+func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instance) (*ExecResult, error) {
+	if len(ins.Relations) != len(p.Schema.Atoms) {
+		return nil, fmt.Errorf("core: instance has %d relations for %d atoms",
+			len(ins.Relations), len(p.Schema.Atoms))
+	}
+	switch p.Mode {
+	case plan.ModeFull:
+		res, err := ex.ExecuteRule(ctx, &p.Schema, p.Rules[0], p.Cons, ins)
+		if err != nil {
+			return nil, err
+		}
+		// Semijoin reduction with every input removes spurious tuples
+		// (Corollary 7.10).
+		t := res.Tables[bitset.Full(p.Schema.NumVars)]
+		for _, r := range ins.Relations {
+			t = t.Semijoin(r)
+		}
+		return &ExecResult{Out: t, NonEmpty: t.Size() > 0, Tables: res.Tables, Bound: res.Bound, Stats: res.Stats}, nil
+
+	case plan.ModeFhtw:
+		td := p.TDs[p.Chosen]
+		// The per-bag rules are independent until the Yannakakis pass:
+		// execute and semijoin-reduce them through the worker pool, then
+		// merge stats in bag order so the outcome matches sequential runs.
+		ress := make([]*Result, len(td.Bags))
+		rels := make([]*relation.Relation, len(td.Bags))
+		err := ex.forEachRule(ctx, len(td.Bags), func(ctx context.Context, i int) error {
+			res, err := ex.ExecuteRule(ctx, &p.Schema, p.Rules[i], p.Cons, ins)
+			if err != nil {
+				return err
+			}
+			ress[i] = res
+			rels[i] = reduceWithInputs(res.Tables[td.Bags[i]], ins)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		stats := newStats()
+		for _, res := range ress {
+			accumulate(stats, res.Stats)
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if p.Free == 0 {
+			ok, err := yannakakis.NonEmpty(rels, td.Parent)
+			if err != nil {
+				return nil, err
+			}
+			return &ExecResult{NonEmpty: ok, Stats: stats}, nil
+		}
+		out, err := yannakakis.Join(rels, td.Parent)
+		if err != nil {
+			return nil, err
+		}
+		return &ExecResult{Out: out, NonEmpty: out.Size() > 0, Stats: stats}, nil
+
+	case plan.ModeSubw:
+		// One rule per inclusion-minimal transversal; the rules are
+		// independent, so they fan out, and their tables are merged in rule
+		// order afterwards (set-semantics unions, deterministic).
+		ress := make([]*Result, len(p.Rules))
+		err := ex.forEachRule(ctx, len(p.Rules), func(ctx context.Context, i int) error {
+			res, err := ex.ExecuteRule(ctx, &p.Schema, p.Rules[i], p.Cons, ins)
+			if err != nil {
+				return err
+			}
+			ress[i] = res
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		stats := newStats()
+		tables := map[bitset.Set]*relation.Relation{}
+		for _, res := range ress {
+			accumulate(stats, res.Stats)
+			mergeTables(tables, res.Tables)
+		}
+		// Semijoin-reduce every bag table with the inputs.
+		for b, t := range tables {
+			tables[b] = reduceWithInputs(t, ins)
+		}
+		// Evaluate every decomposition whose bags all have tables; union.
+		var out *relation.Relation
+		answer := false
+		evaluated := 0
+		for ti, td := range p.TDs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			rels := make([]*relation.Relation, len(td.Bags))
+			ok := true
+			for i, bi := range p.TDBags[ti] {
+				t, have := tables[p.Bags[bi]]
+				if !have {
+					ok = false
+					break
+				}
+				rels[i] = t
+			}
+			if !ok {
+				continue
+			}
+			evaluated++
+			if p.Free == 0 {
+				ne, err := yannakakis.NonEmpty(rels, td.Parent)
+				if err != nil {
+					return nil, err
+				}
+				answer = answer || ne
+				continue
+			}
+			j, err := yannakakis.Join(rels, td.Parent)
+			if err != nil {
+				return nil, err
+			}
+			if out == nil {
+				out = j
+			} else {
+				out = out.Union(j)
+			}
+		}
+		if evaluated == 0 {
+			return nil, fmt.Errorf("core: no tree decomposition fully covered by transversal bags")
+		}
+		if p.Free == 0 {
+			return &ExecResult{NonEmpty: answer, Stats: stats}, nil
+		}
+		return &ExecResult{Out: out, NonEmpty: out.Size() > 0, Stats: stats}, nil
+	}
+	return nil, fmt.Errorf("core: plan mode %v is not executable", p.Mode)
+}
+
+// forEachRule runs fn(ctx, i) for i in [0, n), sequentially when the
+// executor's parallelism (or n) is 1, and through a bounded worker pool
+// otherwise. The first genuine error cancels the sibling executions; the
+// error returned is deterministic — the lowest-index genuine failure wins
+// over the cancellations it propagated, and the parent context's error wins
+// when the run as a whole was cancelled from outside.
+func (ex *Executor) forEachRule(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	workers := ex.Parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	idx := make(chan int)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if err := cctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := fn(cctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	var first error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return first
+}

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -71,6 +72,7 @@ type rtCon struct {
 }
 
 type engine struct {
+	ctx      context.Context
 	n        int
 	targets  []bitset.Set
 	objLog   *big.Rat
@@ -166,6 +168,12 @@ func (e *engine) checkInvariants(f *frame) error {
 // target whose union (across sibling subproblems) models the rule.
 func (e *engine) run(f *frame) (map[bitset.Set]*relation.Relation, error) {
 	for {
+		// Cancellation is checked between proof steps: each step is one
+		// relational operation, so a cancelled context aborts before the
+		// next join/projection/partition rather than mid-operation.
+		if err := e.ctx.Err(); err != nil {
+			return nil, err
+		}
 		if e.opt.CheckInvariants {
 			if err := e.checkInvariants(f); err != nil {
 				return nil, err

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 
@@ -15,6 +16,10 @@ type Stats struct {
 	Evictions  uint64 // plans dropped by the LRU policy
 	LPSolves   uint64 // exact simplex solves performed across all builds
 	PlansBuilt uint64 // plans constructed (== Misses unless builds raced)
+	// LPSolvesSaved is the cumulative count of exact simplex solves that
+	// cache hits avoided: each hit adds the LP cost the entry's original
+	// build paid. It is the ops-surface measure of what the cache is worth.
+	LPSolvesSaved uint64
 }
 
 // DefaultCacheSize is the plan capacity of NewPlanner(0).
@@ -47,6 +52,7 @@ type entry struct {
 	key    string
 	plan   *Plan    // canonical space
 	exacts []string // fingerprints registered against this entry
+	lpCost uint64   // LP solves the original build paid; credited per hit
 }
 
 // exactRef remembers the signature a fingerprint resolved to, so later
@@ -104,9 +110,22 @@ func (pl *Planner) evictLRU() {
 // exists for the canonical signature. The returned plan is always in the
 // caller's variable space and safe for concurrent Execute calls.
 func (pl *Planner) Prepare(q *query.Conjunctive, cons []query.DegreeConstraint, mode Mode) (*Plan, error) {
+	return pl.PrepareContext(context.Background(), q, cons, mode)
+}
+
+// PrepareContext is Prepare honoring ctx: a cache hit never blocks on it,
+// but a miss threads the context into the underlying planning phase so its
+// LP solves can be abandoned when the caller goes away.
+func (pl *Planner) PrepareContext(ctx context.Context, q *query.Conjunctive, cons []query.DegreeConstraint, mode Mode) (*Plan, error) {
 	if pl == nil {
-		p, _, err := Prepare(q, cons, mode)
+		p, _, err := PrepareContext(ctx, q, cons, mode)
 		return p, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Validate before encoding so cache keys only ever describe
 	// well-formed inputs.
@@ -118,9 +137,11 @@ func (pl *Planner) Prepare(q *query.Conjunctive, cons []query.DegreeConstraint, 
 	pl.mu.Lock()
 	if ref, ok := pl.exact[fp]; ok {
 		pl.ll.MoveToFront(ref.el)
-		cached := ref.el.Value.(*entry).plan
+		ent := ref.el.Value.(*entry)
+		cached := ent.plan
 		sig := ref.sig
 		pl.stats.Hits++
+		pl.stats.LPSolvesSaved += ent.lpCost
 		pl.mu.Unlock()
 		return cached.fromCanonical(sig, &q.Schema, q.Free), nil
 	}
@@ -136,15 +157,17 @@ func (pl *Planner) Prepare(q *query.Conjunctive, cons []query.DegreeConstraint, 
 	if el, ok := pl.index[sig.Key]; ok {
 		pl.ll.MoveToFront(el)
 		pl.registerExact(el, fp, sig)
-		cached := el.Value.(*entry).plan
+		ent := el.Value.(*entry)
+		cached := ent.plan
 		pl.stats.Hits++
+		pl.stats.LPSolvesSaved += ent.lpCost
 		pl.mu.Unlock()
 		return cached.fromCanonical(sig, &q.Schema, q.Free), nil
 	}
 	pl.stats.Misses++
 	pl.mu.Unlock()
 
-	p, bs, err := Prepare(q, cons, mode)
+	p, bs, err := PrepareContext(ctx, q, cons, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -158,7 +181,7 @@ func (pl *Planner) Prepare(q *query.Conjunctive, cons []query.DegreeConstraint, 
 		// A concurrent build won the race; adopt its entry.
 		pl.ll.MoveToFront(el)
 	} else {
-		el = pl.ll.PushFront(&entry{key: sig.Key, plan: canon})
+		el = pl.ll.PushFront(&entry{key: sig.Key, plan: canon, lpCost: uint64(bs.LPSolves)})
 		pl.index[sig.Key] = el
 	}
 	pl.registerExact(el, fp, sig)
@@ -204,6 +227,6 @@ func (pl *Planner) Reset() {
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("hits=%d misses=%d evictions=%d lp-solves=%d plans-built=%d",
-		s.Hits, s.Misses, s.Evictions, s.LPSolves, s.PlansBuilt)
+	return fmt.Sprintf("hits=%d misses=%d evictions=%d lp-solves=%d lp-saved=%d plans-built=%d",
+		s.Hits, s.Misses, s.Evictions, s.LPSolves, s.LPSolvesSaved, s.PlansBuilt)
 }

@@ -36,6 +36,35 @@ func TestPlannerHitSkipsLP(t *testing.T) {
 	}
 }
 
+// TestLPSolvesSavedAccounting: every hit credits the LP cost the entry's
+// original build paid, so a server's ops surface can read off what the
+// cache is worth in solver work.
+func TestLPSolvesSavedAccounting(t *testing.T) {
+	pl := NewPlanner(8)
+	q, cons := cycleQuery(4, nil, nil, 100)
+	if _, err := pl.Prepare(q, cons, ModeSubw); err != nil {
+		t.Fatal(err)
+	}
+	st := pl.Stats()
+	if st.LPSolvesSaved != 0 {
+		t.Fatalf("build credited savings: %v", st)
+	}
+	cost := st.LPSolves
+	if cost == 0 {
+		t.Fatal("build reported zero LP solves")
+	}
+	const hits = 3
+	for i := 0; i < hits; i++ {
+		if _, err := pl.Prepare(q, cons, ModeSubw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = pl.Stats()
+	if st.Hits != hits || st.LPSolvesSaved != hits*cost {
+		t.Fatalf("after %d hits: saved %d, want %d (%v)", hits, st.LPSolvesSaved, hits*cost, st)
+	}
+}
+
 // TestPlannerRenamedHit: a variable-renamed query must hit the cache and
 // come back rebound to its own variable space.
 func TestPlannerRenamedHit(t *testing.T) {

@@ -19,6 +19,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 	"math/big"
 
@@ -33,8 +34,10 @@ import (
 type Mode int
 
 const (
-	// ModeAuto picks ModeFull for full queries and ModeSubw otherwise,
-	// mirroring the facade's Eval dispatch.
+	// ModeAuto picks ModeFull for full queries; for every other query the
+	// planner builds both the fhtw and subw candidates and keeps the one
+	// whose exact width certificate is smaller (ties go to ModeFhtw, whose
+	// single-decomposition execution does strictly less work).
 	ModeAuto Mode = iota
 	// ModeFull is PANDA + semijoin reduction (Corollary 7.10); full
 	// queries only.
@@ -139,15 +142,16 @@ type BuildStats struct {
 	ProofSteps int // total proof-sequence length across rules
 }
 
-// ResolveMode maps ModeAuto to the concrete mode used for q.
+// ResolveMode maps ModeAuto to ModeFull for full queries. For non-full
+// queries ModeAuto is returned unchanged: the concrete fhtw-vs-subw choice
+// is cost-based, made inside Prepare from the width certificates, and the
+// cache keys such queries under ModeAuto so the comparison runs once per
+// signature.
 func ResolveMode(q *query.Conjunctive, mode Mode) Mode {
-	if mode != ModeAuto {
-		return mode
-	}
-	if q.IsFull() {
+	if mode == ModeAuto && q.IsFull() {
 		return ModeFull
 	}
-	return ModeSubw
+	return mode
 }
 
 // validateSchema rejects variables outside the bitset universe before any
@@ -210,6 +214,12 @@ func toFlowDCs(s *query.Schema, dcs []query.DegreeConstraint) ([]flow.DC, error)
 // The constraint set must be complete (guarded, with cardinalities); guards
 // are validated here so a prepared rule is always executable.
 func PrepareRule(s *query.Schema, cons []query.DegreeConstraint, targets []bitset.Set) (*PreparedRule, *BuildStats, error) {
+	return PrepareRuleContext(context.Background(), s, cons, targets)
+}
+
+// PrepareRuleContext is PrepareRule honoring ctx: cancellation is checked
+// before the LP solve, so an expired context aborts planning promptly.
+func PrepareRuleContext(ctx context.Context, s *query.Schema, cons []query.DegreeConstraint, targets []bitset.Set) (*PreparedRule, *BuildStats, error) {
 	bs := &BuildStats{}
 	if err := validateSchema(s); err != nil {
 		return nil, bs, err
@@ -223,11 +233,11 @@ func PrepareRule(s *query.Schema, cons []query.DegreeConstraint, targets []bitse
 	if err := checkGuards(s, cons); err != nil {
 		return nil, bs, err
 	}
-	pr, err := prepareRule(s, cons, targets, bs)
+	pr, err := prepareRule(ctx, s, cons, targets, bs)
 	return pr, bs, err
 }
 
-func prepareRule(s *query.Schema, cons []query.DegreeConstraint, targets []bitset.Set, bs *BuildStats) (*PreparedRule, error) {
+func prepareRule(ctx context.Context, s *query.Schema, cons []query.DegreeConstraint, targets []bitset.Set, bs *BuildStats) (*PreparedRule, error) {
 	if len(targets) == 0 {
 		return nil, fmt.Errorf("plan: rule has no targets")
 	}
@@ -238,6 +248,9 @@ func prepareRule(s *query.Schema, cons []query.DegreeConstraint, targets []bitse
 	}
 	fdcs, err := toFlowDCs(s, cons)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	bs.LPSolves++
@@ -298,8 +311,21 @@ func fractionalCover(h *hypergraph.Hypergraph, b bitset.Set, bs *BuildStats) (Co
 // No instance is consulted: everything here can be cached and amortized
 // across executions.
 func Prepare(q *query.Conjunctive, cons []query.DegreeConstraint, mode Mode) (*Plan, *BuildStats, error) {
+	return PrepareContext(context.Background(), q, cons, mode)
+}
+
+// PrepareContext is Prepare honoring ctx: cancellation is checked between
+// the per-bag and per-transversal LP solves, so an expired context aborts a
+// long planning phase between solves rather than after the whole batch.
+func PrepareContext(ctx context.Context, q *query.Conjunctive, cons []query.DegreeConstraint, mode Mode) (*Plan, *BuildStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mode = ResolveMode(q, mode)
 	bs := &BuildStats{}
+	if err := ctx.Err(); err != nil {
+		return nil, bs, err
+	}
 	if err := validateQuery(q, cons); err != nil {
 		return nil, bs, err
 	}
@@ -317,15 +343,16 @@ func Prepare(q *query.Conjunctive, cons []query.DegreeConstraint, mode Mode) (*P
 			return nil, bs, fmt.Errorf("plan: ModeFull needs a full query")
 		}
 		full := bitset.Full(q.NumVars)
-		pr, err := prepareRule(&p.Schema, cons, []bitset.Set{full}, bs)
+		pr, err := prepareRule(ctx, &p.Schema, cons, []bitset.Set{full}, bs)
 		if err != nil {
 			return nil, bs, err
 		}
 		p.Rules = []*PreparedRule{pr}
 		p.Width = pr.Bound
 		return p, bs, nil
-	case ModeFhtw, ModeSubw:
-		// fall through to the tree-decomposition machinery below
+	case ModeFhtw, ModeSubw, ModeAuto:
+		// fall through to the tree-decomposition machinery below; ModeAuto
+		// builds both candidates and keeps the smaller certificate.
 	default:
 		return nil, bs, fmt.Errorf("plan: unknown mode %d", int(mode))
 	}
@@ -357,12 +384,19 @@ func Prepare(q *query.Conjunctive, cons []query.DegreeConstraint, mode Mode) (*P
 		return nil, bs, err
 	}
 
-	if mode == ModeFhtw {
-		// One LP per distinct bag; the results double as the rule plans of
-		// the chosen decomposition (the simplex is deterministic, so the
-		// reuse is behavior-preserving).
-		bagRes := make([]*flow.MaximinResult, len(p.Bags))
+	// fhtw candidate: one LP per distinct bag; the results double as the
+	// rule plans of the chosen decomposition (the simplex is deterministic,
+	// so the reuse is behavior-preserving). Proof sequences are constructed
+	// only if the candidate is committed.
+	var bagRes []*flow.MaximinResult
+	fhtwChosen := -1
+	var fhtwWidth *big.Rat
+	if mode == ModeFhtw || mode == ModeAuto {
+		bagRes = make([]*flow.MaximinResult, len(p.Bags))
 		for i, b := range p.Bags {
+			if err := ctx.Err(); err != nil {
+				return nil, bs, err
+			}
 			bs.LPSolves++
 			r, err := flow.MaximinBound(q.NumVars, fdcs, []bitset.Set{b})
 			if err != nil {
@@ -370,7 +404,6 @@ func Prepare(q *query.Conjunctive, cons []query.DegreeConstraint, mode Mode) (*P
 			}
 			bagRes[i] = r
 		}
-		best, bestVal := -1, new(big.Rat)
 		for ti := range p.TDs {
 			worst := new(big.Rat)
 			for _, bi := range p.TDBags[ti] {
@@ -378,22 +411,72 @@ func Prepare(q *query.Conjunctive, cons []query.DegreeConstraint, mode Mode) (*P
 					worst = bagRes[bi].Bound
 				}
 			}
-			if best == -1 || worst.Cmp(bestVal) < 0 {
-				best, bestVal = ti, worst
+			if fhtwChosen == -1 || worst.Cmp(fhtwWidth) < 0 {
+				fhtwChosen, fhtwWidth = ti, worst
 			}
 		}
-		p.Chosen = best
-		p.Width = bestVal
-		td := p.TDs[best]
-		for i, b := range td.Bags {
-			r := bagRes[p.TDBags[best][i]]
+	}
+
+	// subw candidate: one rule per inclusion-minimal bag transversal
+	// (Lemma 7.12); the width certificate is the worst rule bound, which is
+	// exactly the degree-aware submodular width. Only the bound LPs run
+	// here — proof sequences, like the fhtw candidate's, are constructed
+	// only if the candidate is committed.
+	var trs [][]int
+	var trTargets [][]bitset.Set
+	var trRes []*flow.MaximinResult
+	var subwWidth *big.Rat
+	if mode == ModeSubw || mode == ModeAuto {
+		trs, err = hypergraph.MinimalTransversals(p.Bags, p.TDBags)
+		if err != nil {
+			return nil, bs, err
+		}
+		subwWidth = new(big.Rat)
+		for _, tr := range trs {
+			if err := ctx.Err(); err != nil {
+				return nil, bs, err
+			}
+			targets := make([]bitset.Set, len(tr))
+			for i, bi := range tr {
+				targets[i] = p.Bags[bi]
+			}
+			bs.LPSolves++
+			r, err := flow.MaximinBound(q.NumVars, fdcs, targets)
+			if err != nil {
+				return nil, bs, err
+			}
+			trTargets = append(trTargets, targets)
+			trRes = append(trRes, r)
+			if r.Bound.Cmp(subwWidth) > 0 {
+				subwWidth = r.Bound
+			}
+		}
+	}
+
+	if mode == ModeAuto {
+		// Cost-based choice from the exact certificates: da-subw ≤ da-fhtw
+		// always, so subw wins exactly when it is strictly smaller; on ties
+		// the fhtw plan executes strictly less work (one decomposition, one
+		// rule per bag, a single Yannakakis pass).
+		if subwWidth.Cmp(fhtwWidth) < 0 {
+			mode = ModeSubw
+		} else {
+			mode = ModeFhtw
+		}
+		p.Mode = mode
+	}
+
+	if mode == ModeSubw {
+		p.Transversals = trs
+		p.Width = subwWidth
+		for ti, r := range trRes {
 			seq, err := flow.ConstructProof(r.Lambda, r.Delta, r.Witness)
 			if err != nil {
 				return nil, bs, err
 			}
 			bs.ProofSteps += len(seq)
 			p.Rules = append(p.Rules, &PreparedRule{
-				Targets: []bitset.Set{b},
+				Targets: trTargets[ti],
 				Bound:   r.Bound,
 				Lambda:  r.Lambda,
 				Delta:   r.Delta,
@@ -403,28 +486,23 @@ func Prepare(q *query.Conjunctive, cons []query.DegreeConstraint, mode Mode) (*P
 		return p, bs, nil
 	}
 
-	// ModeSubw: one rule per inclusion-minimal bag transversal
-	// (Lemma 7.12); the width certificate is the worst rule bound, which is
-	// exactly the degree-aware submodular width.
-	trs, err := hypergraph.MinimalTransversals(p.Bags, p.TDBags)
-	if err != nil {
-		return nil, bs, err
-	}
-	p.Transversals = trs
-	p.Width = new(big.Rat)
-	for _, tr := range trs {
-		targets := make([]bitset.Set, len(tr))
-		for i, bi := range tr {
-			targets[i] = p.Bags[bi]
-		}
-		pr, err := prepareRule(&p.Schema, cons, targets, bs)
+	p.Chosen = fhtwChosen
+	p.Width = fhtwWidth
+	td := p.TDs[fhtwChosen]
+	for i, b := range td.Bags {
+		r := bagRes[p.TDBags[fhtwChosen][i]]
+		seq, err := flow.ConstructProof(r.Lambda, r.Delta, r.Witness)
 		if err != nil {
 			return nil, bs, err
 		}
-		p.Rules = append(p.Rules, pr)
-		if pr.Bound.Cmp(p.Width) > 0 {
-			p.Width = pr.Bound
-		}
+		bs.ProofSteps += len(seq)
+		p.Rules = append(p.Rules, &PreparedRule{
+			Targets: []bitset.Set{b},
+			Bound:   r.Bound,
+			Lambda:  r.Lambda,
+			Delta:   r.Delta,
+			Seq:     seq,
+		})
 	}
 	return p, bs, nil
 }

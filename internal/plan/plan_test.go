@@ -134,6 +134,67 @@ func TestPrepareModeAuto(t *testing.T) {
 	}
 }
 
+// TestModeAutoCostBased: golden check that cost-based ModeAuto commits the
+// strategy whose exact width certificate is the minimum of the fhtw and
+// subw candidates, with ties going to the cheaper fhtw execution.
+func TestModeAutoCostBased(t *testing.T) {
+	check := func(name string, q *query.Conjunctive, cons []query.DegreeConstraint) {
+		t.Helper()
+		auto, _, err := Prepare(q, cons, ModeAuto)
+		if err != nil {
+			t.Fatalf("%s: auto: %v", name, err)
+		}
+		fh, _, err := Prepare(q, cons, ModeFhtw)
+		if err != nil {
+			t.Fatalf("%s: fhtw: %v", name, err)
+		}
+		sw, _, err := Prepare(q, cons, ModeSubw)
+		if err != nil {
+			t.Fatalf("%s: subw: %v", name, err)
+		}
+		min := fh.Width
+		if sw.Width.Cmp(min) < 0 {
+			min = sw.Width
+		}
+		if auto.Width.Cmp(min) != 0 {
+			t.Fatalf("%s: auto certificate %v, want min(fhtw %v, subw %v)",
+				name, auto.Width, fh.Width, sw.Width)
+		}
+		wantMode := ModeFhtw
+		if sw.Width.Cmp(fh.Width) < 0 {
+			wantMode = ModeSubw
+		}
+		if auto.Mode != wantMode {
+			t.Fatalf("%s: auto chose %v (fhtw %v, subw %v), want %v",
+				name, auto.Mode, fh.Width, sw.Width, wantMode)
+		}
+	}
+
+	// Boolean 4-cycle: subw 3/2 strictly below fhtw 2 → ModeSubw.
+	qb, cons := cycleQuery(4, nil, nil, 2)
+	qb.Free = 0
+	check("boolean 4-cycle", qb, cons)
+
+	// Acyclic projection path: the certificates tie → ModeFhtw.
+	qp := &query.Conjunctive{
+		Schema: query.Schema{NumVars: 3, Atoms: []queryAtom{
+			{Name: "R", Vars: bitset.Of(0, 1)},
+			{Name: "S", Vars: bitset.Of(1, 2)},
+		}},
+		Free: bitset.Of(0, 2),
+	}
+	pcons := []query.DegreeConstraint{
+		query.Cardinality(bitset.Of(0, 1), 16, 0),
+		query.Cardinality(bitset.Of(1, 2), 16, 1),
+	}
+	check("acyclic path projection", qp, pcons)
+
+	// Boolean 5-cycle: a second strict-win fixture at a different width.
+	q5, cons5 := cycleQuery(5, nil, nil, 2)
+	q5.Free = 0
+	check("boolean 5-cycle", q5, cons5)
+}
+
 // TestPrepareErrors: malformed inputs are rejected before any LP runs.
 func TestPrepareErrors(t *testing.T) {
 	q, cons := cycleQuery(4, nil, nil, 8)

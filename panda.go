@@ -36,16 +36,24 @@
 //	db.CreateRelation("R", 2)
 //	db.Insert("R", []panda.Value{1, 2})
 //	stmt, err := db.Prepare("Q(A,C) :- R(A,B), R(B,C).")
-//	res, err := stmt.Query() // or db.Query(src) in one call
+//	res, err := stmt.QueryContext(ctx) // or db.QueryContext(ctx, src) in one call
 //
 // Full, Boolean and projection conjunctive queries and disjunctive datalog
 // rules all return one *Result (output relation, Boolean answer, width
 // certificate, per-rule tables, stats). Errors wrap structured sentinels
 // (ErrUnknownRelation, ErrArity, ErrUnboundedLP, …) for errors.Is
-// dispatch, and functional options (WithMode, WithTrace,
+// dispatch, and functional options (WithMode, WithTrace, WithParallelism,
 // WithPlannerCapacity, …) replace the bare Options struct. Repeated
 // traffic — including queries that merely rename variables — hits the
 // session's plan cache and executes with zero LP solves.
+//
+// Execution is context-first: QueryContext/EvalContext/EvalRuleContext
+// check cancellation between the engine's proof steps, so deadlines and
+// cancellation abort long-running queries promptly with ctx.Err(); the
+// context-free forms delegate with context.Background(). WithParallelism
+// fans a plan's independent per-bag / per-transversal rule executions out
+// across a bounded worker pool with a deterministic merge — the answer is
+// byte-identical to a sequential run.
 //
 // # Migrating from the Eval* functions
 //

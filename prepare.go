@@ -1,6 +1,7 @@
 package panda
 
 import (
+	"context"
 	"math/big"
 	"sync"
 
@@ -33,7 +34,7 @@ type PlanMode = plan.Mode
 
 // Plan modes.
 const (
-	ModeAuto = plan.ModeAuto // ModeFull for full queries, ModeSubw otherwise
+	ModeAuto = plan.ModeAuto // cost-based: ModeFull for full queries; else the smaller of the fhtw/subw certificates
 	ModeFull = plan.ModeFull // PANDA + semijoin reduction (Corollary 7.10)
 	ModeFhtw = plan.ModeFhtw // fractional-hypertree-width plan (Corollary 7.11)
 	ModeSubw = plan.ModeSubw // submodular-width plan (Theorem 1.9)
@@ -74,7 +75,14 @@ func (pl *Planner) Prepare(q *Query, dcs []Constraint) (*PreparedQuery, error) {
 
 // PrepareMode is Prepare with an explicit strategy choice.
 func (pl *Planner) PrepareMode(q *Query, dcs []Constraint, mode PlanMode) (*PreparedQuery, error) {
-	p, err := pl.inner.Prepare(q, dcs, mode)
+	return pl.PrepareModeContext(context.Background(), q, dcs, mode)
+}
+
+// PrepareModeContext is PrepareMode honoring ctx: a cache miss threads the
+// context into the planning phase, whose LP solves check cancellation, so
+// an expired deadline aborts planning promptly with ctx.Err().
+func (pl *Planner) PrepareModeContext(ctx context.Context, q *Query, dcs []Constraint, mode PlanMode) (*PreparedQuery, error) {
+	p, err := pl.inner.PrepareContext(ctx, q, dcs, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -106,7 +114,17 @@ type PreparedQuery struct {
 // projection queries are projected onto their free variables, matching the
 // one-shot Eval dispatch.
 func (pq *PreparedQuery) Eval(ins *Instance, opt Options) (*Relation, bool, *Stats, error) {
-	ex, err := core.Execute(pq.p, ins, opt)
+	return pq.EvalContext(context.Background(), ins, opt)
+}
+
+// EvalContext is Eval honoring ctx: the engine checks cancellation between
+// proof steps, so a cancelled or expired context aborts the run promptly
+// with ctx.Err(). Callers who also want parallel rule execution should run
+// the query through a DB with WithParallelism — the session path shares
+// this plan cache and adds the bounded worker pool.
+func (pq *PreparedQuery) EvalContext(ctx context.Context, ins *Instance, opt Options) (*Relation, bool, *Stats, error) {
+	exec := &core.Executor{Opt: opt}
+	ex, err := exec.Execute(ctx, pq.p, ins)
 	if err != nil {
 		return nil, false, nil, err
 	}

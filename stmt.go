@@ -1,6 +1,7 @@
 package panda
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -63,12 +64,17 @@ func (db *DB) Prepare(src string, opts ...Option) (*Stmt, error) {
 	return &Stmt{db: db, src: src, res: res, cfg: cfg}, nil
 }
 
-// Query binds the current catalog contents to the statement's schema,
-// verifies the declared constraints against the data, and runs the query:
-// cache-hit planning (via the session Planner) plus execution for
-// conjunctive queries, PANDA for disjunctive rules. The Result shape is
-// the same in every case.
-func (st *Stmt) Query(opts ...Option) (*Result, error) {
+// QueryContext binds the current catalog contents to the statement's
+// schema, verifies the declared constraints against the data, and runs the
+// query under ctx: cache-hit planning (via the session Planner) plus
+// execution for conjunctive queries, PANDA for disjunctive rules. The
+// Result shape is the same in every case. A cancelled or expired context
+// aborts the run promptly with ctx.Err(); the engine checks cancellation
+// between proof steps and between rule executions.
+func (st *Stmt) QueryContext(ctx context.Context, opts ...Option) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if st.res.Conj == nil {
 		if err := rejectExplicitMode(opts); err != nil {
 			return nil, err
@@ -83,9 +89,14 @@ func (st *Stmt) Query(opts ...Option) (*Result, error) {
 		return nil, err
 	}
 	if st.res.Conj != nil {
-		return st.db.evalConjunctive(st.res.Conj, ins, st.res.Constraints, cfg)
+		return st.db.evalConjunctive(ctx, st.res.Conj, ins, st.res.Constraints, cfg)
 	}
-	return st.db.evalRule(st.res.Rule, ins, st.res.Constraints, cfg)
+	return st.db.evalRule(ctx, st.res.Rule, ins, st.res.Constraints, cfg)
+}
+
+// Query is QueryContext under context.Background().
+func (st *Stmt) Query(opts ...Option) (*Result, error) {
+	return st.QueryContext(context.Background(), opts...)
 }
 
 // bind returns the statement's schema bound to the current catalog,
