@@ -1,0 +1,94 @@
+// Command pandad is the long-lived PANDA query server: one process holds a
+// panda.DB session (catalog + shared plan cache) and answers HTTP/JSON
+// query traffic through internal/server. Repeated queries — including
+// variable renamings — are served from the plan cache with zero LP solves;
+// GET /metrics exports the planner counters that prove it.
+//
+// Usage:
+//
+//	pandad [-addr :8080] [-j N] [-timeout D] [-planner-cap N] [-stmt-cap N] [-load-dir DIR]
+//
+// -j bounds how many independent rule executions run concurrently per query
+// (0 picks the number of CPUs); -timeout caps each request's context (a
+// query that overruns it is cancelled between proof steps and reported as
+// 504); -planner-cap sizes the plan cache; -load-dir bootstraps the catalog
+// from a directory of <relation>.csv files, the same convention as
+// `panda eval`.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, in-flight
+// queries drain, then the session closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"panda"
+	"panda/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pandad: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	jobs := flag.Int("j", 1, "parallel rule executions per query (0 = NumCPU)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request deadline (0 = none)")
+	plannerCap := flag.Int("planner-cap", 0, "plan-cache capacity (0 = default)")
+	stmtCap := flag.Int("stmt-cap", 0, "prepared-statement cache capacity (0 = default)")
+	loadDir := flag.String("load-dir", "", "bootstrap the catalog from *.csv files in this directory")
+	drain := flag.Duration("drain", 15*time.Second, "how long shutdown waits for in-flight queries")
+	flag.Parse()
+	if *jobs == 0 {
+		*jobs = runtime.NumCPU()
+	}
+
+	db := panda.Open(panda.WithPlannerCapacity(*plannerCap), panda.WithParallelism(*jobs))
+	defer db.Close()
+	if *loadDir != "" {
+		if err := db.LoadCSVDir(*loadDir); err != nil {
+			log.Fatal(err)
+		}
+		infos, err := db.Relations()
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, in := range infos {
+			log.Printf("loaded %s: arity %d, %d tuples", in.Name, in.Arity, in.Size)
+		}
+	}
+
+	srv := server.New(server.Config{DB: db, Timeout: *timeout, StmtCacheSize: *stmtCap})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (j=%d, timeout=%v)", *addr, *jobs, *timeout)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down, draining in-flight queries")
+	shctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("listener shutdown: %v", err)
+	}
+	if err := srv.Shutdown(shctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+}

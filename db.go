@@ -13,6 +13,7 @@ import (
 
 	"panda/internal/bitset"
 	"panda/internal/core"
+	"panda/internal/plan"
 	"panda/internal/query"
 	"panda/internal/relation"
 )
@@ -451,14 +452,23 @@ func (cfg config) executor() *core.Executor {
 	return &core.Executor{Parallelism: cfg.parallelism, Opt: cfg.core}
 }
 
+// prepareConjunctive is the shared planning preamble of the execute
+// (evalConjunctive) and dry-run (Stmt.ExplainContext) paths: mode
+// validation plus cache-hit planning against the instance's completed
+// constraint set. One body keeps an explain from ever diverging from the
+// query it describes.
+func (db *DB) prepareConjunctive(ctx context.Context, q *Query, ins *Instance, dcs []Constraint, cfg config) (*plan.Plan, error) {
+	if cfg.mode == ModeFull && !q.IsFull() {
+		return nil, fmt.Errorf("panda: ModeFull needs a full query (free %s)", q.VarLabel(q.Free))
+	}
+	return db.planner.inner.PrepareContext(ctx, q, core.CompleteConstraints(&q.Schema, ins, dcs), cfg.mode)
+}
+
 func (db *DB) evalConjunctive(ctx context.Context, q *Query, ins *Instance, dcs []Constraint, cfg config) (*Result, error) {
 	if db.isClosed() {
 		return nil, ErrClosed
 	}
-	if cfg.mode == ModeFull && !q.IsFull() {
-		return nil, fmt.Errorf("panda: ModeFull needs a full query (free %s)", q.VarLabel(q.Free))
-	}
-	p, err := db.planner.inner.PrepareContext(ctx, q, core.CompleteConstraints(&q.Schema, ins, dcs), cfg.mode)
+	p, err := db.prepareConjunctive(ctx, q, ins, dcs, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -471,14 +481,21 @@ func (db *DB) evalConjunctive(ctx context.Context, q *Query, ins *Instance, dcs 
 	if out != nil {
 		ok = out.Size() > 0
 	}
+	var cols []string
+	if out != nil {
+		for _, v := range p.Free.Vars() {
+			cols = append(cols, q.VarLabel(bitset.Of(v)))
+		}
+	}
 	return &Result{
-		Rel:    out,
-		OK:     ok,
-		Width:  ex.Width,
-		Mode:   ex.Mode,
-		Tables: ex.Tables,
-		Bound:  ex.Bound,
-		Stats:  ex.Stats,
+		Rel:     out,
+		Columns: cols,
+		OK:      ok,
+		Width:   ex.Width,
+		Mode:    ex.Mode,
+		Tables:  ex.Tables,
+		Bound:   ex.Bound,
+		Stats:   ex.Stats,
 	}, nil
 }
 

@@ -31,17 +31,27 @@ const DefaultCacheSize = 128
 // take the fast path.
 const maxExactsPerPlan = 16
 
-// Planner prepares query plans through a concurrency-safe LRU cache keyed
-// by the canonical signature of (query shape, free variables, constraint
-// set, mode). A hit performs no LP solves and no proof construction — the
-// cached canonical plan is rebound to the caller's variable space, which is
-// pure bookkeeping. Repeat traffic with byte-identical query text takes an
-// exact-fingerprint fast path that also skips signature canonicalization
-// (the permutation search of Canonicalize), so steady-state hits cost one
-// linear encoding plus the rebind.
+// Planner prepares query plans through a concurrency-safe bounded cache
+// keyed by the canonical signature of (query shape, free variables,
+// constraint set, mode). A hit performs no LP solves and no proof
+// construction — the cached canonical plan is rebound to the caller's
+// variable space, which is pure bookkeeping. Repeat traffic with
+// byte-identical query text takes an exact-fingerprint fast path that also
+// skips signature canonicalization (the permutation search of
+// Canonicalize), so steady-state hits cost one linear encoding plus the
+// rebind.
+//
+// Eviction is cost-weighted (GreedyDual): each entry carries a priority of
+// clock + lpCost, refreshed on every hit, and the entry with the lowest
+// priority is evicted when the cache is over capacity, advancing the clock
+// to the evicted priority. An expensive plan (many LP solves to rebuild)
+// therefore outlives cheaper entries that were touched more recently; when
+// build costs are equal the policy degenerates to plain LRU (ties are
+// broken toward the least recently used entry).
 type Planner struct {
 	mu    sync.Mutex
 	cap   int
+	clock uint64                   // GreedyDual aging clock, in LP-solve units
 	ll    *list.List               // front = most recently used
 	index map[string]*list.Element // canonical Key → element; value is *entry
 	exact map[string]*exactRef     // Fingerprint → entry + its signature
@@ -53,6 +63,7 @@ type entry struct {
 	plan   *Plan    // canonical space
 	exacts []string // fingerprints registered against this entry
 	lpCost uint64   // LP solves the original build paid; credited per hit
+	pri    uint64   // eviction priority: clock-at-touch + lpCost
 }
 
 // exactRef remembers the signature a fingerprint resolved to, so later
@@ -91,16 +102,34 @@ func (pl *Planner) registerExact(el *list.Element, fp string, sig *Signature) {
 	ent.exacts = append(ent.exacts, fp)
 }
 
-// evictLRU drops least-recently-used entries beyond capacity; caller holds
-// pl.mu.
-func (pl *Planner) evictLRU() {
+// evictionScanWindow bounds how many entries (from the LRU end) one
+// eviction examines, keeping eviction O(1) in the cache capacity. Within
+// the window the choice is exact GreedyDual; an expensive entry outside it
+// is by definition recently used and not at risk.
+const evictionScanWindow = 32
+
+// evictOverCap drops entries beyond capacity, choosing the victim by
+// lowest GreedyDual priority (clock-at-touch + LP build cost) rather than
+// pure recency; scanning starts at the LRU end so equal-cost entries fall
+// back to LRU order. The clock advances to the victim's priority, which is
+// what ages the survivors: an untouched entry's head start shrinks with
+// every eviction until only its build cost protects it. Caller holds pl.mu.
+func (pl *Planner) evictOverCap() {
 	for pl.ll.Len() > pl.cap {
-		back := pl.ll.Back()
-		pl.ll.Remove(back)
-		ent := back.Value.(*entry)
+		victim := pl.ll.Back()
+		for el, n := victim.Prev(), 1; el != nil && n < evictionScanWindow; el, n = el.Prev(), n+1 {
+			if el.Value.(*entry).pri < victim.Value.(*entry).pri {
+				victim = el
+			}
+		}
+		pl.ll.Remove(victim)
+		ent := victim.Value.(*entry)
 		delete(pl.index, ent.key)
 		for _, fp := range ent.exacts {
 			delete(pl.exact, fp)
+		}
+		if ent.pri > pl.clock {
+			pl.clock = ent.pri
 		}
 		pl.stats.Evictions++
 	}
@@ -138,6 +167,7 @@ func (pl *Planner) PrepareContext(ctx context.Context, q *query.Conjunctive, con
 	if ref, ok := pl.exact[fp]; ok {
 		pl.ll.MoveToFront(ref.el)
 		ent := ref.el.Value.(*entry)
+		ent.pri = pl.clock + ent.lpCost
 		cached := ent.plan
 		sig := ref.sig
 		pl.stats.Hits++
@@ -158,6 +188,7 @@ func (pl *Planner) PrepareContext(ctx context.Context, q *query.Conjunctive, con
 		pl.ll.MoveToFront(el)
 		pl.registerExact(el, fp, sig)
 		ent := el.Value.(*entry)
+		ent.pri = pl.clock + ent.lpCost
 		cached := ent.plan
 		pl.stats.Hits++
 		pl.stats.LPSolvesSaved += ent.lpCost
@@ -180,12 +211,15 @@ func (pl *Planner) PrepareContext(ctx context.Context, q *query.Conjunctive, con
 	if ok {
 		// A concurrent build won the race; adopt its entry.
 		pl.ll.MoveToFront(el)
+		ent := el.Value.(*entry)
+		ent.pri = pl.clock + ent.lpCost
 	} else {
-		el = pl.ll.PushFront(&entry{key: sig.Key, plan: canon, lpCost: uint64(bs.LPSolves)})
+		cost := uint64(bs.LPSolves)
+		el = pl.ll.PushFront(&entry{key: sig.Key, plan: canon, lpCost: cost, pri: pl.clock + cost})
 		pl.index[sig.Key] = el
 	}
 	pl.registerExact(el, fp, sig)
-	pl.evictLRU()
+	pl.evictOverCap()
 	pl.mu.Unlock()
 	return p, nil
 }
@@ -224,6 +258,7 @@ func (pl *Planner) Reset() {
 	pl.index = map[string]*list.Element{}
 	pl.exact = map[string]*exactRef{}
 	pl.stats = Stats{}
+	pl.clock = 0
 }
 
 func (s Stats) String() string {

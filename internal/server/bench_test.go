@@ -1,0 +1,66 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"panda"
+)
+
+// BenchmarkServerQuery measures steady-state request throughput on the hot
+// path: statement-cache hit, plan-cache hit (zero LP solves), execute,
+// stream. Run with -benchtime to taste; CI runs it once as a smoke test.
+func BenchmarkServerQuery(b *testing.B) {
+	db := panda.Open()
+	defer db.Close()
+	q := panda.TriangleQuery()
+	ins := panda.RandomInstance(7, &q.Schema, 60, 12)
+	for i, a := range q.Schema.Atoms {
+		if err := db.CreateRelation(a.Name, a.Vars.Card()); err != nil && !errors.Is(err, panda.ErrRelationExists) {
+			b.Fatal(err)
+		}
+		if err := db.Insert(a.Name, ins.Relations[i].Rows()...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(New(Config{DB: db}))
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"query":%q}`, `Q(A,B,C) :- R(A,B), S(B,C), T(A,C).`)
+	do := func() error {
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("status %d", resp.StatusCode)
+		}
+		return nil
+	}
+	if err := do(); err != nil { // pay the one-time planning cost up front
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := do(); err != nil {
+				// Fatal must not be called from a RunParallel worker.
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if st := db.PlannerStats(); st.Misses != 1 {
+		b.Fatalf("benchmark traffic missed the plan cache: %v", st)
+	}
+}

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// metrics accumulates per-endpoint request counters and latency sums,
+// rendered in the Prometheus text exposition format alongside the planner
+// and statement-cache counters scraped live from the session. Everything is
+// a counter (or a gauge derived from a live snapshot), so scrapes are cheap
+// and the collector needs no histogram machinery.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[requestKey]uint64 // endpoint+status → count
+	durSum   map[string]float64    // endpoint → total seconds
+	durCount map[string]uint64     // endpoint → observations
+}
+
+type requestKey struct {
+	endpoint string
+	code     int
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: map[requestKey]uint64{},
+		durSum:   map[string]float64{},
+		durCount: map[string]uint64{},
+	}
+}
+
+// observe records one finished request.
+func (m *metrics) observe(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[requestKey{endpoint, code}]++
+	m.durSum[endpoint] += d.Seconds()
+	m.durCount[endpoint]++
+}
+
+// write renders the full exposition. The Server passes in the live planner
+// and statement-cache snapshots so the scrape reflects this instant, not
+// the last request.
+func (m *metrics) write(w io.Writer, s *Server) {
+	st := s.db.PlannerStats()
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("panda_planner_hits_total", "Prepare calls answered from the plan cache (zero LP solves).", st.Hits)
+	counter("panda_planner_misses_total", "Prepare calls that built a fresh plan.", st.Misses)
+	counter("panda_planner_evictions_total", "Plans dropped by the cost-weighted eviction policy.", st.Evictions)
+	counter("panda_planner_lp_solves_total", "Exact simplex solves performed across all plan builds.", st.LPSolves)
+	counter("panda_planner_lp_solves_saved_total", "Simplex solves avoided by plan-cache hits.", st.LPSolvesSaved)
+	counter("panda_planner_plans_built_total", "Plans constructed (misses, plus lost build races).", st.PlansBuilt)
+
+	entries, hits, misses := s.stmts.snapshot()
+	fmt.Fprintf(w, "# HELP panda_stmt_cache_entries Prepared statements currently cached.\n# TYPE panda_stmt_cache_entries gauge\npanda_stmt_cache_entries %d\n", entries)
+	counter("panda_stmt_cache_hits_total", "Query requests served by a cached statement.", hits)
+	counter("panda_stmt_cache_misses_total", "Query requests that re-prepared their statement.", misses)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	keys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].endpoint != keys[j].endpoint {
+			return keys[i].endpoint < keys[j].endpoint
+		}
+		return keys[i].code < keys[j].code
+	})
+	fmt.Fprintf(w, "# HELP panda_http_requests_total Requests served, by endpoint and status code.\n# TYPE panda_http_requests_total counter\n")
+	for _, k := range keys {
+		fmt.Fprintf(w, "panda_http_requests_total{endpoint=%q,code=%q} %d\n", k.endpoint, strconv.Itoa(k.code), m.requests[k])
+	}
+	eps := make([]string, 0, len(m.durCount))
+	for ep := range m.durCount {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	fmt.Fprintf(w, "# HELP panda_http_request_duration_seconds Request latency, by endpoint.\n# TYPE panda_http_request_duration_seconds summary\n")
+	for _, ep := range eps {
+		fmt.Fprintf(w, "panda_http_request_duration_seconds_sum{endpoint=%q} %g\n", ep, m.durSum[ep])
+		fmt.Fprintf(w, "panda_http_request_duration_seconds_count{endpoint=%q} %d\n", ep, m.durCount[ep])
+	}
+}

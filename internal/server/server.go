@@ -1,0 +1,518 @@
+// Package server implements pandad's HTTP/JSON surface: a long-lived query
+// service wrapping a single panda.DB session. One process answers repeated
+// query traffic against a shared catalog and planner, which is where the
+// paper's reusable width certificates pay off operationally — the first
+// request for a query shape pays the LP solves, every later one (including
+// variable renamings) plans for free, and /metrics exports exactly how much
+// solver work the cache is saving.
+//
+// Endpoints:
+//
+//	POST   /v1/query                 run a query; rows stream as JSON
+//	GET    /v1/plan?q=…[&mode=…]     dry-run prepare: committed mode + width certificate
+//	GET    /v1/relations             list the catalog
+//	POST   /v1/relations             create a relation {"name","arity"}
+//	DELETE /v1/relations/{name}      drop a relation
+//	POST   /v1/relations/{name}/rows insert tuples {"rows":[[…],…]}
+//	POST   /v1/relations/{name}/csv  bulk-ingest a CSV body
+//	GET    /metrics                  Prometheus text: planner, stmt cache, per-endpoint latency
+//
+// Every request runs under its own context (bound straight to
+// db.QueryContext), optionally capped by the configured per-request
+// timeout; the structured panda sentinels map to distinct HTTP statuses so
+// clients can dispatch without parsing messages.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"panda"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// DB is the session the server fronts; required, and owned by the
+	// caller (the server never closes it).
+	DB *panda.DB
+	// Timeout caps each request's context (0 = no per-request deadline).
+	// A query that overruns it is cancelled between proof steps and
+	// reported as 504 with the context error.
+	Timeout time.Duration
+	// Parallelism is the default per-query executor fan-out; a request
+	// may override it. 0 leaves the session default in force.
+	Parallelism int
+	// StmtCacheSize bounds the prepared-statement cache (0 selects
+	// DefaultStmtCacheSize).
+	StmtCacheSize int
+}
+
+// Server is the HTTP handler. Create one with New; it is safe for
+// concurrent use.
+type Server struct {
+	db          *panda.DB
+	timeout     time.Duration
+	parallelism int
+	stmts       *stmtCache
+	metrics     *metrics
+	mux         *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	// queryStarted, when set, runs after a /v1/query request is admitted
+	// and resolved to a statement, before execution; tests use it to hold
+	// a query in flight deterministically.
+	queryStarted func()
+}
+
+// New wires the routes around cfg.DB.
+func New(cfg Config) *Server {
+	s := &Server{
+		db:          cfg.DB,
+		timeout:     cfg.Timeout,
+		parallelism: cfg.Parallelism,
+		stmts:       newStmtCache(cfg.StmtCacheSize),
+		metrics:     newMetrics(),
+		mux:         http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/query", s.wrap("query", s.handleQuery))
+	s.mux.HandleFunc("GET /v1/plan", s.wrap("plan", s.handlePlan))
+	s.mux.HandleFunc("GET /v1/relations", s.wrap("relations", s.handleListRelations))
+	s.mux.HandleFunc("POST /v1/relations", s.wrap("relations", s.handleCreateRelation))
+	s.mux.HandleFunc("DELETE /v1/relations/{name}", s.wrap("relations", s.handleDropRelation))
+	s.mux.HandleFunc("POST /v1/relations/{name}/rows", s.wrap("rows", s.handleInsertRows))
+	s.mux.HandleFunc("POST /v1/relations/{name}/csv", s.wrap("csv", s.handleLoadCSV))
+	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Shutdown stops admitting requests (new ones get 503) and waits for
+// in-flight ones — including long-running queries — to drain, or for ctx to
+// expire. It does not close the DB; the owner does that once Shutdown
+// returns so draining queries never observe ErrClosed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// statusWriter captures the response code for the metrics middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap lets http.ResponseController reach Flusher on the underlying
+// writer through the wrapper.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// wrap is the per-endpoint middleware: drain admission, in-flight
+// accounting, the per-request deadline, and latency/status metrics.
+func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			writeError(sw, http.StatusServiceUnavailable, "shutting_down", errors.New("server is shutting down"))
+			s.metrics.observe(endpoint, sw.code, time.Since(start))
+			return
+		}
+		s.inflight.Add(1)
+		s.mu.Unlock()
+		defer s.inflight.Done()
+		if s.timeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(sw, r)
+		s.metrics.observe(endpoint, sw.code, time.Since(start))
+	}
+}
+
+// ---- Error mapping ----
+
+// statusOf maps the structured panda sentinels and context errors to
+// distinct HTTP statuses; anything else (parse errors, malformed bodies) is
+// a plain 400.
+func statusOf(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout // 504
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.Is(err, panda.ErrUnknownRelation):
+		return http.StatusNotFound // 404
+	case errors.Is(err, panda.ErrRelationExists):
+		return http.StatusConflict // 409
+	case errors.Is(err, panda.ErrArity):
+		return http.StatusUnprocessableEntity // 422
+	case errors.Is(err, panda.ErrUnboundedLP):
+		return http.StatusFailedDependency // 424: constraint set does not bound the LP
+	case errors.Is(err, panda.ErrClosed):
+		return http.StatusServiceUnavailable // 503
+	default:
+		return http.StatusBadRequest // 400
+	}
+}
+
+// codeOf names the sentinel for the JSON error body, so clients dispatch on
+// a stable token instead of message text.
+func codeOf(err error) string {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline_exceeded"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
+	case errors.Is(err, panda.ErrUnknownRelation):
+		return "unknown_relation"
+	case errors.Is(err, panda.ErrRelationExists):
+		return "relation_exists"
+	case errors.Is(err, panda.ErrArity):
+		return "arity_mismatch"
+	case errors.Is(err, panda.ErrUnboundedLP):
+		return "unbounded_lp"
+	case errors.Is(err, panda.ErrNotConjunctive):
+		return "not_conjunctive"
+	case errors.Is(err, panda.ErrClosed):
+		return "closed"
+	default:
+		return "bad_request"
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error(), "code": code})
+}
+
+func (s *Server) fail(w http.ResponseWriter, err error) {
+	writeError(w, statusOf(err), codeOf(err), err)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// ---- Statements ----
+
+// stmt resolves query text through the bounded statement cache, preparing
+// on a miss. Prepared statements rebind automatically after catalog
+// mutations, so a hit can never serve stale data.
+func (s *Server) stmt(src string) (*panda.Stmt, error) {
+	if st, ok := s.stmts.get(src); ok {
+		return st, nil
+	}
+	st, err := s.db.Prepare(src)
+	if err != nil {
+		return nil, err
+	}
+	s.stmts.put(src, st)
+	return st, nil
+}
+
+func parseMode(s string) (panda.PlanMode, bool, error) {
+	switch strings.ToLower(s) {
+	case "":
+		return panda.ModeAuto, false, nil
+	case "auto":
+		return panda.ModeAuto, true, nil
+	case "full":
+		return panda.ModeFull, true, nil
+	case "fhtw":
+		return panda.ModeFhtw, true, nil
+	case "subw":
+		return panda.ModeSubw, true, nil
+	}
+	return 0, false, fmt.Errorf("unknown mode %q (want auto, full, fhtw or subw)", s)
+}
+
+// ---- /v1/query ----
+
+type queryRequest struct {
+	// Query is the textual query (see internal/query): a conjunctive query
+	// or a disjunctive datalog rule, with optional constraint lines.
+	Query string `json:"query"`
+	// Mode forces an evaluation strategy: auto (default), full, fhtw,
+	// subw. Forcing a mode on a disjunctive rule is rejected.
+	Mode string `json:"mode,omitempty"`
+	// Parallelism overrides the server's per-query executor fan-out.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		s.fail(w, errors.New("missing query text"))
+		return
+	}
+	mode, explicit, err := parseMode(req.Mode)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	st, err := s.stmt(req.Query)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var opts []panda.Option
+	if explicit {
+		opts = append(opts, panda.WithMode(mode))
+	}
+	if req.Parallelism > 0 {
+		opts = append(opts, panda.WithParallelism(req.Parallelism))
+	} else if s.parallelism > 0 {
+		opts = append(opts, panda.WithParallelism(s.parallelism))
+	}
+	if s.queryStarted != nil {
+		s.queryStarted()
+	}
+	res, err := st.QueryContext(r.Context(), opts...)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	s.writeResult(w, st, res)
+}
+
+// writeResult streams the unified Result as one JSON object. The scalar
+// header lands first and rows are written tuple by tuple (flushed
+// periodically), so a client can start consuming a large result while the
+// tail is still being encoded.
+func (s *Server) writeResult(w http.ResponseWriter, st *panda.Stmt, res *panda.Result) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"mode":%q,"ok":%t`, res.Mode.String(), res.OK)
+	if res.Width != nil {
+		fmt.Fprintf(w, `,"width":%q`, res.Width.RatString())
+	}
+	// ResponseController reaches Flush through the statusWriter's Unwrap;
+	// a direct type assertion would miss it.
+	flush := http.NewResponseController(w)
+	if res.Rel != nil {
+		cols, _ := json.Marshal(res.Columns)
+		fmt.Fprintf(w, `,"columns":%s,"rows":`, cols)
+		streamRows(w, flush, res.Rows())
+	}
+	if res.Mode == panda.ModeRule {
+		targets := make([]panda.Set, 0, len(res.Tables))
+		for b := range res.Tables {
+			targets = append(targets, b)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		sch := st.Schema()
+		io.WriteString(w, `,"tables":[`)
+		for i, b := range targets {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, `{"target":%q,"size":%d,"rows":`, "T_"+sch.VarLabel(b), res.Tables[b].Size())
+			streamRows(w, flush, res.Tables[b].SortedRows())
+			io.WriteString(w, "}")
+		}
+		io.WriteString(w, "]")
+	}
+	if res.Stats != nil {
+		stats, err := json.Marshal(res.Stats)
+		if err == nil {
+			fmt.Fprintf(w, `,"stats":%s`, stats)
+		}
+	}
+	io.WriteString(w, "}\n")
+}
+
+// streamRows writes a JSON array of tuples, flushing every few thousand
+// rows so large results reach the client incrementally.
+func streamRows(w io.Writer, flush *http.ResponseController, rows [][]panda.Value) {
+	io.WriteString(w, "[")
+	for i, row := range rows {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		b, _ := json.Marshal(row)
+		w.Write(b)
+		if flush != nil && i%4096 == 4095 {
+			flush.Flush()
+		}
+	}
+	io.WriteString(w, "]")
+}
+
+// ---- /v1/plan ----
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	src := r.URL.Query().Get("q")
+	if strings.TrimSpace(src) == "" {
+		s.fail(w, errors.New("missing q parameter (the query text)"))
+		return
+	}
+	mode, explicit, err := parseMode(r.URL.Query().Get("mode"))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	st, err := s.stmt(src)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var opts []panda.Option
+	if explicit {
+		opts = append(opts, panda.WithMode(mode))
+	}
+	info, err := st.ExplainContext(r.Context(), opts...)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	resp := map[string]any{
+		"mode":  info.Mode.String(),
+		"width": info.Width.RatString(),
+	}
+	if info.Key != "" {
+		resp["signature"] = fmt.Sprintf("%x", fnv32(info.Key))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// fnv32 digests a canonical signature key for display (the raw key is an
+// opaque binary encoding).
+func fnv32(s string) uint32 {
+	const offset, prime = 2166136261, 16777619
+	h := uint32(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// ---- Catalog endpoints ----
+
+func (s *Server) handleListRelations(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.db.Relations()
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	type rel struct {
+		Name  string `json:"name"`
+		Arity int    `json:"arity"`
+		Size  int    `json:"size"`
+	}
+	out := make([]rel, len(infos))
+	for i, in := range infos {
+		out[i] = rel{in.Name, in.Arity, in.Size}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"relations": out})
+}
+
+func (s *Server) handleCreateRelation(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name  string `json:"name"`
+		Arity int    `json:"arity"`
+	}
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if req.Name == "" {
+		s.fail(w, errors.New("missing relation name"))
+		return
+	}
+	if err := s.db.CreateRelation(req.Name, req.Arity); err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{"name": req.Name, "arity": req.Arity})
+}
+
+func (s *Server) handleDropRelation(w http.ResponseWriter, r *http.Request) {
+	if err := s.db.DropRelation(r.PathValue("name")); err != nil {
+		s.fail(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleInsertRows(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Rows [][]panda.Value `json:"rows"`
+	}
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if err := s.db.Insert(r.PathValue("name"), req.Rows...); err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rows": len(req.Rows)})
+}
+
+func (s *Server) handleLoadCSV(w http.ResponseWriter, r *http.Request) {
+	n, err := s.db.LoadCSVContext(r.Context(), r.PathValue("name"), r.Body)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rows": n})
+}
+
+// ---- /metrics ----
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.write(w, s)
+}
+
+// decodeJSON reads one JSON value, rejecting trailing garbage and unknown
+// fields so malformed bodies fail loudly instead of half-parsing.
+func decodeJSON(r io.Reader, v any) error {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("malformed JSON body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("malformed JSON body: trailing data")
+	}
+	return nil
+}

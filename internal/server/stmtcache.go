@@ -1,0 +1,80 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"panda"
+)
+
+// DefaultStmtCacheSize is the statement capacity of a Server whose config
+// leaves StmtCacheSize at zero.
+const DefaultStmtCacheSize = 256
+
+// stmtCache is a bounded LRU of prepared statements keyed by raw query
+// text. It sits above the planner's signature cache: a stmt hit skips
+// parsing and catalog validation, and the Stmt it returns memoizes its
+// bound catalog snapshot, so steady-state request handling is parse-free
+// and plan-free. Statements self-invalidate against catalog mutations (the
+// Stmt rebinds when the catalog version moves), so entries never serve
+// stale data and need no explicit invalidation here.
+type stmtCache struct {
+	mu           sync.Mutex
+	cap          int
+	ll           *list.List               // front = most recently used
+	index        map[string]*list.Element // query text → element; value is *stmtEntry
+	hits, misses uint64
+}
+
+type stmtEntry struct {
+	src  string
+	stmt *panda.Stmt
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	if capacity <= 0 {
+		capacity = DefaultStmtCacheSize
+	}
+	return &stmtCache{cap: capacity, ll: list.New(), index: map[string]*list.Element{}}
+}
+
+// get returns the cached statement for src, refreshing its recency.
+func (c *stmtCache) get(src string) (*panda.Stmt, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.index[src]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	c.hits++
+	return el.Value.(*stmtEntry).stmt, true
+}
+
+// put caches a statement, evicting the least recently used entry beyond
+// capacity. Concurrent misses for the same text may both prepare and put;
+// the second put wins, which is harmless — both statements plan through
+// the same session planner.
+func (c *stmtCache) put(src string, st *panda.Stmt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[src]; ok {
+		el.Value.(*stmtEntry).stmt = st
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[src] = c.ll.PushFront(&stmtEntry{src: src, stmt: st})
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.index, back.Value.(*stmtEntry).src)
+	}
+}
+
+// snapshot reports (entries, hits, misses) for the metrics endpoint.
+func (c *stmtCache) snapshot() (int, uint64, uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.hits, c.misses
+}

@@ -19,6 +19,11 @@ type Result struct {
 	// Rel is the output relation over the query's free variables; nil for
 	// Boolean queries and for disjunctive rules (see Tables).
 	Rel *Relation
+	// Columns names Rel's columns — the query's free variables in the
+	// ascending variable order Rows uses; nil when the result has no
+	// output relation. It is the stable header a serving layer (JSON, CSV)
+	// pairs with Rows.
+	Columns []string
 	// OK answers non-emptiness in every case: the Boolean answer, |Rel| >
 	// 0, or — for a rule — whether any target table is non-empty.
 	OK bool

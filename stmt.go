@@ -3,8 +3,11 @@ package panda
 import (
 	"context"
 	"fmt"
+	"math/big"
 	"sync"
 
+	"panda/internal/core"
+	"panda/internal/plan"
 	"panda/internal/query"
 )
 
@@ -139,6 +142,60 @@ func rejectExplicitMode(opts []Option) error {
 		return fmt.Errorf("%w: WithMode applies to conjunctive queries", ErrNotConjunctive)
 	}
 	return nil
+}
+
+// PlanInfo summarizes the planning outcome of a statement: the strategy
+// the planner committed to and its exact width certificate, without any
+// execution work. It is the dry-run shape a query server returns from an
+// explain endpoint.
+type PlanInfo struct {
+	// Mode is the committed strategy (ModeRule for disjunctive rules).
+	Mode PlanMode
+	// Width is the exact width certificate in log₂ units: the polymatroid
+	// bound (ModeFull and rules), da-fhtw (ModeFhtw) or da-subw (ModeSubw).
+	Width *big.Rat
+	// Key is the canonical plan-cache signature; empty for disjunctive
+	// rules, which are planned per rule rather than cached by signature.
+	Key string
+}
+
+// ExplainContext runs only the planning phase of the statement against the
+// current catalog — cache-hit planning for conjunctive queries (sharing the
+// session Planner, so an Explain warms the cache for later queries), the
+// polymatroid-bound LP for disjunctive rules — and reports the committed
+// mode and width certificate without executing anything. The instance
+// cardinalities the certificate depends on are snapshotted from the
+// catalog, exactly as QueryContext would see them.
+func (st *Stmt) ExplainContext(ctx context.Context, opts ...Option) (*PlanInfo, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if st.res.Conj == nil {
+		if err := rejectExplicitMode(opts); err != nil {
+			return nil, err
+		}
+	}
+	cfg := st.cfg
+	for _, o := range opts {
+		o(&cfg)
+	}
+	ins, err := st.bind()
+	if err != nil {
+		return nil, err
+	}
+	if q := st.res.Conj; q != nil {
+		p, err := st.db.prepareConjunctive(ctx, q, ins, st.res.Constraints, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &PlanInfo{Mode: p.Mode, Width: p.Width, Key: p.Key}, nil
+	}
+	r := st.res.Rule
+	pr, _, err := plan.PrepareRuleContext(ctx, &r.Schema, core.CompleteConstraints(&r.Schema, ins, st.res.Constraints), r.Targets)
+	if err != nil {
+		return nil, err
+	}
+	return &PlanInfo{Mode: ModeRule, Width: pr.Bound}, nil
 }
 
 // Source returns the statement's query text.

@@ -1,0 +1,209 @@
+package panda
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestDBStressMixedCatalogTraffic hammers one session with the full mix a
+// query server generates — Insert, QueryContext (both ad-hoc and through a
+// shared prepared statement), DropRelation/CreateRelation churn and
+// PlannerStats polling — from many goroutines. Run under -race in CI.
+//
+// The correctness assertions target statement staleness:
+//
+//   - R only ever grows during the run, so every successful query must see
+//     a monotonically non-decreasing row count (a stale snapshot served
+//     after a newer one would shrink), and only rows that were actually
+//     inserted.
+//   - After the run, the same shared statement must reflect the final
+//     catalog exactly — not a snapshot cached before the last mutation.
+//   - After R is dropped, the statement must fail with ErrUnknownRelation
+//     rather than answer from its stale bound instance.
+func TestDBStressMixedCatalogTraffic(t *testing.T) {
+	const (
+		inserters  = 2
+		queriers   = 3
+		churners   = 2
+		iterations = 12
+	)
+	db := Open(WithPlannerCapacity(64))
+	defer db.Close()
+	if err := db.CreateRelation("R", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("R", []Value{0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := db.Prepare("Q(A,B) :- R(A,B).")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// inserted(g, i) is goroutine g's i-th row; the universe of legal rows
+	// is closed under it, so queriers can validate every tuple they see.
+	inserted := func(g, i int) []Value { return []Value{Value(g + 1), Value(i)} }
+	legal := func(row []Value) bool {
+		if len(row) != 2 {
+			return false
+		}
+		if row[0] == 0 && row[1] == 0 {
+			return true
+		}
+		g, i := int(row[0])-1, int(row[1])
+		return g >= 0 && g < inserters && i >= 0 && i < iterations
+	}
+
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, inserters+queriers+churners+1)
+	for g := 0; g < inserters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iterations; i++ {
+				if err := db.Insert("R", inserted(g, i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < queriers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			lastSize := 0
+			for i := 0; i < iterations; i++ {
+				var res *Result
+				var err error
+				if g%2 == 0 {
+					res, err = stmt.QueryContext(ctx)
+				} else {
+					res, err = db.QueryContext(ctx, "Q(A,B) :- R(A,B).")
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Size() < lastSize {
+					errs <- fmt.Errorf("stale snapshot: size shrank %d -> %d", lastSize, res.Size())
+					return
+				}
+				lastSize = res.Size()
+				for _, row := range res.Rows() {
+					if !legal(row) {
+						errs <- fmt.Errorf("query returned a row nobody inserted: %v", row)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < churners; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("W%d", g)
+			for i := 0; i < iterations; i++ {
+				if err := db.CreateRelation(name, 2); err != nil {
+					errs <- err
+					return
+				}
+				if err := db.Insert(name, []Value{Value(i), Value(i)}); err != nil {
+					errs <- err
+					return
+				}
+				if err := db.DropRelation(name); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var last PlannerStats
+		for i := 0; i < iterations*2; i++ {
+			st := db.PlannerStats()
+			if st.Hits < last.Hits || st.Misses < last.Misses || st.LPSolves < last.LPSolves {
+				errs <- fmt.Errorf("planner counters went backwards: %v then %v", last, st)
+				return
+			}
+			last = st
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The shared statement must reflect the final catalog exactly.
+	want := [][]Value{{0, 0}}
+	for g := 0; g < inserters; g++ {
+		for i := 0; i < iterations; i++ {
+			want = append(want, inserted(g, i))
+		}
+	}
+	res, err := stmt.QueryContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Rows()
+	sortRows(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("statement served a stale result after mutation: %d rows, want %d", len(got), len(want))
+	}
+
+	// Churned relations are gone, R is intact.
+	infos, err := db.Relations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "R" || infos[0].Size != len(want) {
+		t.Fatalf("catalog after churn: %+v", infos)
+	}
+
+	// Dropping R must invalidate the statement, not leave it answering
+	// from its cached snapshot.
+	if err := db.DropRelation("R"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.QueryContext(ctx); !errors.Is(err, ErrUnknownRelation) {
+		t.Fatalf("statement survived the drop: %v", err)
+	}
+	// Recreating R with a different arity must surface ErrArity, not bind
+	// the old shape.
+	if err := db.CreateRelation("R", 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stmt.QueryContext(ctx); !errors.Is(err, ErrArity) {
+		t.Fatalf("statement ignored the arity change: %v", err)
+	}
+}
+
+// sortRows orders rows lexicographically, matching Result.Rows.
+func sortRows(rows [][]Value) {
+	for i := range rows {
+		for j := i + 1; j < len(rows); j++ {
+			if lessRow(rows[j], rows[i]) {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+}
+
+func lessRow(a, b []Value) bool {
+	for k := range a {
+		if a[k] != b[k] {
+			return a[k] < b[k]
+		}
+	}
+	return false
+}
