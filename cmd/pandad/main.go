@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	pandad [-addr :8080] [-j N] [-timeout D] [-planner-cap N] [-stmt-cap N] [-load-dir DIR]
+//	pandad [-addr :8080] [-j N] [-timeout D] [-planner-cap N] [-stmt-cap N]
+//	       [-load-dir DIR] [-plan-dir DIR] [-snapshot-every D]
 //
 // -j bounds how many independent rule executions run concurrently per query
 // (0 picks the number of CPUs); -timeout caps each request's context (a
@@ -15,8 +16,17 @@
 // from a directory of <relation>.csv files, the same convention as
 // `panda eval`.
 //
+// -plan-dir makes the plan cache persistent: boot warm-loads the snapshot
+// at DIR/plans.json (so queries planned by a previous run execute with
+// zero LP solves — watch panda_planner_lp_solves_saved_total grow while
+// panda_planner_lp_solves_total stays flat), and the cache is snapshotted
+// back every -snapshot-every (0 disables the timer) plus once during
+// graceful shutdown. The same snapshot format ships over GET/PUT
+// /v1/plans, so a fleet can also be warmed over HTTP from one planning
+// tier.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, in-flight
-// queries drain, then the session closes.
+// queries drain, the plan cache is snapshotted, then the session closes.
 package main
 
 import (
@@ -45,14 +55,31 @@ func main() {
 	plannerCap := flag.Int("planner-cap", 0, "plan-cache capacity (0 = default)")
 	stmtCap := flag.Int("stmt-cap", 0, "prepared-statement cache capacity (0 = default)")
 	loadDir := flag.String("load-dir", "", "bootstrap the catalog from *.csv files in this directory")
+	planDir := flag.String("plan-dir", "", "persist the plan cache in this directory (warm-load on boot, snapshot on shutdown)")
+	snapEvery := flag.Duration("snapshot-every", 5*time.Minute, "how often to snapshot the plan cache to -plan-dir (0 = only on shutdown)")
 	drain := flag.Duration("drain", 15*time.Second, "how long shutdown waits for in-flight queries")
 	flag.Parse()
 	if *jobs == 0 {
 		*jobs = runtime.NumCPU()
 	}
 
-	db := panda.Open(panda.WithPlannerCapacity(*plannerCap), panda.WithParallelism(*jobs))
+	opts := []panda.Option{panda.WithPlannerCapacity(*plannerCap), panda.WithParallelism(*jobs)}
+	if *planDir != "" {
+		opts = append(opts, panda.WithPlanDir(*planDir))
+	}
+	db := panda.Open(opts...)
 	defer db.Close()
+	if *planDir != "" {
+		stats, err := db.PlanLoadResult()
+		switch {
+		case err != nil:
+			log.Printf("plan warm-load from %s failed (serving cold): %v", *planDir, err)
+		case stats.Skipped > 0:
+			log.Printf("plan warm-load from %s: %v — skipped entries will be re-planned", *planDir, stats)
+		default:
+			log.Printf("plan cache primed with %d plans from %s", stats.Loaded, *planDir)
+		}
+	}
 	if *loadDir != "" {
 		if err := db.LoadCSVDir(*loadDir); err != nil {
 			log.Fatal(err)
@@ -71,6 +98,22 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *planDir != "" && *snapEvery > 0 {
+		go func() {
+			tick := time.NewTicker(*snapEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if err := db.SnapshotPlans(); err != nil {
+						log.Printf("plan snapshot: %v", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 	errc := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s (j=%d, timeout=%v)", *addr, *jobs, *timeout)
@@ -90,5 +133,12 @@ func main() {
 	}
 	if err := srv.Shutdown(shctx); err != nil {
 		log.Printf("drain: %v", err)
+	}
+	if *planDir != "" {
+		if err := db.SnapshotPlans(); err != nil {
+			log.Printf("plan snapshot: %v", err)
+		} else {
+			log.Printf("plan cache snapshotted: %d plans in %s", db.Planner().Len(), *planDir)
+		}
 	}
 }

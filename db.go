@@ -45,6 +45,12 @@ type DB struct {
 	version  uint64                        // bumped on every catalog mutation
 	defaults config
 	closed   bool
+
+	// planLoad records what Open's WithPlanDir warm-load did, so embedders
+	// (pandad's boot log) can surface skipped or failed snapshots instead
+	// of silently serving cold.
+	planLoadStats PlanCacheLoadStats
+	planLoadErr   error
 }
 
 // config carries the tunables of a DB and of one query run. Functional
@@ -55,6 +61,7 @@ type config struct {
 	core        Options
 	parallelism int
 	plannerCap  int
+	planDir     string
 }
 
 // Option tunes a DB (at Open) or a single query run (at Prepare / Query /
@@ -93,6 +100,14 @@ func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n 
 // default capacity). Effective at Open only.
 func WithPlannerCapacity(n int) Option { return func(c *config) { c.plannerCap = n } }
 
+// WithPlanDir makes the session's plan cache persistent under dir:
+// Open warm-loads the snapshot at <dir>/plans.json when one exists
+// (best-effort — a missing, stale-version or corrupted snapshot is skipped,
+// never fatal), and SnapshotPlans writes the current cache back atomically.
+// Queries whose plans were loaded execute with zero LP solves, which is the
+// warm-restart guarantee pandad builds on. Effective at Open only.
+func WithPlanDir(dir string) Option { return func(c *config) { c.planDir = dir } }
+
 // withOptions folds a legacy Options struct into the config; the deprecated
 // wrappers use it to route through the DB path unchanged.
 func withOptions(o Options) Option { return func(c *config) { c.core = o } }
@@ -104,11 +119,27 @@ func Open(opts ...Option) *DB {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	return &DB{
+	db := &DB{
 		planner:  NewPlanner(cfg.plannerCap),
 		catalog:  map[string]*relation.Relation{},
 		defaults: cfg,
 	}
+	if cfg.planDir != "" {
+		// Warm-load is best-effort by design: a fresh directory has no
+		// snapshot yet, and a bad one must not keep the session from
+		// opening. The outcome is recorded for PlanLoadResult so a failed
+		// or partially skipped warm start stays observable.
+		db.planLoadStats, db.planLoadErr = db.LoadPlanDir()
+	}
+	return db
+}
+
+// PlanLoadResult reports what the WithPlanDir warm-load at Open did: the
+// load stats (entries loaded/skipped/duplicated, first rejection reason)
+// and the container-level error, if any. Zero values mean no plan
+// directory was configured or no snapshot existed yet.
+func (db *DB) PlanLoadResult() (PlanCacheLoadStats, error) {
+	return db.planLoadStats, db.planLoadErr
 }
 
 // newSession wraps an existing planner in a catalog-less DB; the deprecated
@@ -359,6 +390,86 @@ func (db *DB) LoadCSVDir(dir string) error {
 		}
 	}
 	return nil
+}
+
+// ---- Plan persistence ----
+
+// PlanSnapshotFile is the file name SnapshotPlans writes (and Open's
+// warm-load reads) inside the WithPlanDir directory.
+const PlanSnapshotFile = "plans.json"
+
+// SavePlans writes the session planner's cached plans to w in the
+// versioned panda-plan-cache format. Another session — a restarted server,
+// or a replica fed from a planning tier — re-seeds from it with LoadPlans
+// and answers the covered queries with zero LP solves.
+func (db *DB) SavePlans(w io.Writer) error {
+	if db.isClosed() {
+		return ErrClosed
+	}
+	return db.planner.SaveCache(w)
+}
+
+// LoadPlans imports a plan-cache snapshot into the session planner.
+// Entries with a format-version or digest mismatch — or keys the cache
+// already holds — are skipped, never fatal; the stats report the split and
+// the first rejection reason.
+func (db *DB) LoadPlans(r io.Reader) (PlanCacheLoadStats, error) {
+	if db.isClosed() {
+		return PlanCacheLoadStats{}, ErrClosed
+	}
+	return db.planner.LoadCache(r)
+}
+
+// PlanDir returns the plan-persistence directory configured at Open, or ""
+// when the session is not persistent.
+func (db *DB) PlanDir() string { return db.defaults.planDir }
+
+// LoadPlanDir loads the PlanSnapshotFile snapshot from the configured plan
+// directory. A missing snapshot is not an error (the directory simply has
+// not been written yet); a session without a plan directory is.
+func (db *DB) LoadPlanDir() (PlanCacheLoadStats, error) {
+	dir := db.defaults.planDir
+	if dir == "" {
+		return PlanCacheLoadStats{}, fmt.Errorf("panda: session has no plan directory (use WithPlanDir)")
+	}
+	f, err := os.Open(filepath.Join(dir, PlanSnapshotFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return PlanCacheLoadStats{}, nil
+		}
+		return PlanCacheLoadStats{}, err
+	}
+	defer f.Close()
+	return db.LoadPlans(f)
+}
+
+// SnapshotPlans writes the current plan cache to the configured plan
+// directory, atomically: the snapshot lands in a temporary file first and
+// is renamed over PlanSnapshotFile, so a crash mid-write can never leave a
+// truncated snapshot for the next boot (truncation would be skipped on
+// load anyway — the envelope digests see to that — but the previous
+// snapshot surviving intact is strictly better).
+func (db *DB) SnapshotPlans() error {
+	dir := db.defaults.planDir
+	if dir == "" {
+		return fmt.Errorf("panda: session has no plan directory (use WithPlanDir)")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, PlanSnapshotFile+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := db.SavePlans(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, PlanSnapshotFile))
 }
 
 // catalogVersion reads the mutation counter; Stmt uses it to invalidate

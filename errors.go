@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"panda/internal/flow"
+	"panda/internal/plan"
 	"panda/internal/query"
 )
 
@@ -37,4 +38,13 @@ var (
 	// ErrNotConjunctive reports a Stmt method that needs a conjunctive
 	// query applied to a disjunctive rule (e.g. an explicit WithMode).
 	ErrNotConjunctive = errors.New("panda: statement is a disjunctive rule")
+
+	// ErrPlanVersion reports an encoded plan or plan-cache snapshot whose
+	// format version is not PlanFormatVersion. Cache loads skip such
+	// entries; strict importers (the server's PUT /v1/plans) reject them.
+	ErrPlanVersion = plan.ErrCodecVersion
+
+	// ErrPlanDigest reports an encoded plan whose payload bytes disagree
+	// with the digest recorded in its envelope.
+	ErrPlanDigest = plan.ErrCodecDigest
 )

@@ -1,0 +1,48 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkPlanDecodeVsPrepare quantifies what plan shipping is worth: a
+// warm restart (or an imported snapshot) pays DecodePlan where a cold boot
+// pays the full planning phase — exact simplex solves plus proof-sequence
+// construction. The 4-cycle subw plan is the headline workload; decode
+// should be orders of magnitude cheaper than cold-prepare.
+func BenchmarkPlanDecodeVsPrepare(b *testing.B) {
+	q, cons := cycleQuery(4, nil, nil, 100)
+	p, _, err := Prepare(q, cons, ModeSubw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodePlan(&buf, p); err != nil {
+		b.Fatal(err)
+	}
+	enc := buf.Bytes()
+
+	b.Run("cold-prepare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := Prepare(q, cons, ModeSubw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodePlan(bytes.NewReader(enc)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("encode", func(b *testing.B) {
+		var w bytes.Buffer
+		for i := 0; i < b.N; i++ {
+			w.Reset()
+			if err := EncodePlan(&w, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

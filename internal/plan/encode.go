@@ -1,0 +1,552 @@
+package plan
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sort"
+
+	"panda/internal/bitset"
+	"panda/internal/flow"
+	"panda/internal/hypergraph"
+	"panda/internal/query"
+)
+
+// Plan serialization: a committed Plan is a closed value — bitsets, exact
+// rationals, proof steps, tree decompositions — so it can outlive the
+// process that paid its LP solves. The wire format is a JSON envelope
+//
+//	{"format": "panda-plan", "version": V, "digest": "<sha256 hex>", "plan": {…}}
+//
+// whose payload is digested byte-for-byte: Decode rejects a payload whose
+// SHA-256 disagrees with the recorded digest (ErrCodecDigest) or whose
+// format version is not this package's FormatVersion (ErrCodecVersion), and
+// re-validates the decoded plan's internal indices so a corrupted-but-
+// consistent file can never panic the execution engine. Encoding is
+// deterministic (vector coordinates are sorted), so encoding the same plan
+// twice yields identical bytes — the property the digest, the cache
+// snapshot diffing and the round-trip tests all rely on.
+//
+// Exact rationals travel as big.Rat.RatString ("p/q" or "p"); variable sets
+// travel as their bitmask. Nothing is lost: a decoded plan executes
+// byte-identically to the freshly prepared one.
+
+// FormatVersion is the wire-format version stamped into every encoded plan
+// and cache snapshot. Bump it on any incompatible change to the payload
+// shape; decoders reject other versions with ErrCodecVersion rather than
+// guessing.
+const FormatVersion = 1
+
+const (
+	planFormat  = "panda-plan"
+	ruleFormat  = "panda-rule"
+	cacheFormat = "panda-plan-cache"
+)
+
+// Codec sentinels: callers dispatch with errors.Is. Both mean "this payload
+// is not trustworthy as written", never "the plan inside is semantically
+// wrong" — semantic validation has its own plain errors.
+var (
+	// ErrCodecVersion reports an envelope whose format version is not
+	// FormatVersion.
+	ErrCodecVersion = errors.New("plan: unsupported plan format version")
+	// ErrCodecDigest reports a payload whose SHA-256 digest disagrees with
+	// the envelope's recorded digest.
+	ErrCodecDigest = errors.New("plan: plan payload digest mismatch")
+)
+
+// ---- Wire shapes ----
+
+type wireAtom struct {
+	Name string `json:"name"`
+	Vars uint32 `json:"vars"`
+	Args []int  `json:"args,omitempty"`
+}
+
+type wireCon struct {
+	X     uint32 `json:"x"`
+	Y     uint32 `json:"y"`
+	N     int64  `json:"n,omitempty"`
+	LogN  string `json:"log_n"`
+	Guard int    `json:"guard"`
+}
+
+type wireTD struct {
+	Bags   []uint32 `json:"bags"`
+	Parent []int    `json:"parent"`
+}
+
+// wireCoord is one sorted coordinate of a flow.Vec.
+type wireCoord struct {
+	X uint32 `json:"x"`
+	Y uint32 `json:"y"`
+	W string `json:"w"`
+}
+
+type wireStep struct {
+	Kind int    `json:"kind"`
+	W    string `json:"w"`
+	A    uint32 `json:"a"`
+	B    uint32 `json:"b"`
+}
+
+type wireRule struct {
+	Targets []uint32    `json:"targets"`
+	Trivial bool        `json:"trivial,omitempty"`
+	Bound   string      `json:"bound"`
+	Lambda  []wireCoord `json:"lambda,omitempty"`
+	Delta   []wireCoord `json:"delta,omitempty"`
+	Seq     []wireStep  `json:"seq,omitempty"`
+}
+
+type wirePlan struct {
+	Mode         int        `json:"mode"`
+	Key          string     `json:"key,omitempty"`
+	NumVars      int        `json:"num_vars"`
+	VarNames     []string   `json:"var_names,omitempty"`
+	Atoms        []wireAtom `json:"atoms"`
+	Free         uint32     `json:"free"`
+	Cons         []wireCon  `json:"cons,omitempty"`
+	Bags         []uint32   `json:"bags,omitempty"`
+	TDs          []wireTD   `json:"tds,omitempty"`
+	TDBags       [][]int    `json:"td_bags,omitempty"`
+	Chosen       int        `json:"chosen"`
+	Transversals [][]int    `json:"transversals,omitempty"`
+	Rules        []wireRule `json:"rules"`
+	Width        string     `json:"width"`
+}
+
+// envelope frames every top-level artifact of the codec.
+type envelope struct {
+	Format  string          `json:"format"`
+	Version int             `json:"version"`
+	Digest  string          `json:"digest"`
+	Payload json.RawMessage `json:"plan"`
+}
+
+// ---- Rat / set / vec helpers ----
+
+func ratOut(r *big.Rat) string {
+	if r == nil {
+		return ""
+	}
+	return r.RatString()
+}
+
+func ratIn(s, field string) (*big.Rat, error) {
+	r, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return nil, fmt.Errorf("plan: decode: %s is not a rational: %q", field, s)
+	}
+	return r, nil
+}
+
+func setsOut(sets []bitset.Set) []uint32 {
+	out := make([]uint32, len(sets))
+	for i, s := range sets {
+		out[i] = uint32(s)
+	}
+	return out
+}
+
+func setsIn(masks []uint32) []bitset.Set {
+	out := make([]bitset.Set, len(masks))
+	for i, m := range masks {
+		out[i] = bitset.Set(m)
+	}
+	return out
+}
+
+// vecOut flattens a flow.Vec into coordinates sorted by (X, Y) so the
+// encoding is deterministic.
+func vecOut(v flow.Vec) ([]wireCoord, error) {
+	if v == nil {
+		return nil, nil
+	}
+	out := make([]wireCoord, 0, len(v))
+	for p, w := range v {
+		if w == nil {
+			return nil, fmt.Errorf("plan: encode: vector coordinate %v has a nil weight", p)
+		}
+		out = append(out, wireCoord{X: uint32(p.X), Y: uint32(p.Y), W: w.RatString()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].X != out[j].X {
+			return out[i].X < out[j].X
+		}
+		return out[i].Y < out[j].Y
+	})
+	return out, nil
+}
+
+func vecIn(coords []wireCoord, field string) (flow.Vec, error) {
+	if coords == nil {
+		return nil, nil
+	}
+	v := flow.NewVec()
+	for i, c := range coords {
+		w, err := ratIn(c.W, fmt.Sprintf("%s[%d]", field, i))
+		if err != nil {
+			return nil, err
+		}
+		p := flow.Pair{X: bitset.Set(c.X), Y: bitset.Set(c.Y)}
+		if _, dup := v[p]; dup {
+			return nil, fmt.Errorf("plan: decode: duplicate %s coordinate %v", field, p)
+		}
+		v[p] = w
+	}
+	return v, nil
+}
+
+func ruleOut(pr *PreparedRule) (wireRule, error) {
+	if pr == nil {
+		return wireRule{}, errors.New("plan: encode: nil rule")
+	}
+	lam, err := vecOut(pr.Lambda)
+	if err != nil {
+		return wireRule{}, err
+	}
+	del, err := vecOut(pr.Delta)
+	if err != nil {
+		return wireRule{}, err
+	}
+	wr := wireRule{
+		Targets: setsOut(pr.Targets),
+		Trivial: pr.Trivial,
+		Bound:   ratOut(pr.Bound),
+		Lambda:  lam,
+		Delta:   del,
+	}
+	for _, s := range pr.Seq {
+		wr.Seq = append(wr.Seq, wireStep{Kind: int(s.Kind), W: ratOut(s.W), A: uint32(s.A), B: uint32(s.B)})
+	}
+	return wr, nil
+}
+
+func ruleIn(wr wireRule, idx int) (*PreparedRule, error) {
+	pr := &PreparedRule{Targets: setsIn(wr.Targets), Trivial: wr.Trivial}
+	var err error
+	if pr.Bound, err = ratIn(wr.Bound, fmt.Sprintf("rules[%d].bound", idx)); err != nil {
+		return nil, err
+	}
+	if pr.Lambda, err = vecIn(wr.Lambda, fmt.Sprintf("rules[%d].lambda", idx)); err != nil {
+		return nil, err
+	}
+	if pr.Delta, err = vecIn(wr.Delta, fmt.Sprintf("rules[%d].delta", idx)); err != nil {
+		return nil, err
+	}
+	for i, s := range wr.Seq {
+		if s.Kind < int(flow.Submodularity) || s.Kind > int(flow.Decomposition) {
+			return nil, fmt.Errorf("plan: decode: rules[%d].seq[%d] has unknown step kind %d", idx, i, s.Kind)
+		}
+		w, err := ratIn(s.W, fmt.Sprintf("rules[%d].seq[%d].w", idx, i))
+		if err != nil {
+			return nil, err
+		}
+		pr.Seq = append(pr.Seq, flow.Step{Kind: flow.StepKind(s.Kind), W: w, A: bitset.Set(s.A), B: bitset.Set(s.B)})
+	}
+	return pr, nil
+}
+
+// ---- Plan payload ----
+
+func planOut(p *Plan) (*wirePlan, error) {
+	if p == nil {
+		return nil, errors.New("plan: encode: nil plan")
+	}
+	wp := &wirePlan{
+		Mode:         int(p.Mode),
+		Key:          p.Key,
+		NumVars:      p.Schema.NumVars,
+		VarNames:     p.Schema.VarNames,
+		Free:         uint32(p.Free),
+		Bags:         setsOut(p.Bags),
+		TDBags:       p.TDBags,
+		Chosen:       p.Chosen,
+		Transversals: p.Transversals,
+		Width:        ratOut(p.Width),
+	}
+	for _, a := range p.Schema.Atoms {
+		wp.Atoms = append(wp.Atoms, wireAtom{Name: a.Name, Vars: uint32(a.Vars), Args: a.Args})
+	}
+	for _, c := range p.Cons {
+		if c.LogN == nil {
+			return nil, fmt.Errorf("plan: encode: constraint on %v has a nil LogN", c.Y)
+		}
+		wp.Cons = append(wp.Cons, wireCon{X: uint32(c.X), Y: uint32(c.Y), N: c.N, LogN: c.LogN.RatString(), Guard: c.Guard})
+	}
+	for _, td := range p.TDs {
+		wp.TDs = append(wp.TDs, wireTD{Bags: setsOut(td.Bags), Parent: td.Parent})
+	}
+	for _, r := range p.Rules {
+		wr, err := ruleOut(r)
+		if err != nil {
+			return nil, err
+		}
+		wp.Rules = append(wp.Rules, wr)
+	}
+	return wp, nil
+}
+
+func planIn(wp *wirePlan) (*Plan, error) {
+	p := &Plan{
+		Mode: Mode(wp.Mode),
+		Key:  wp.Key,
+		Schema: query.Schema{
+			NumVars:  wp.NumVars,
+			VarNames: wp.VarNames,
+		},
+		Free:         bitset.Set(wp.Free),
+		Bags:         setsIn(wp.Bags),
+		TDBags:       wp.TDBags,
+		Chosen:       wp.Chosen,
+		Transversals: wp.Transversals,
+	}
+	for _, a := range wp.Atoms {
+		p.Schema.Atoms = append(p.Schema.Atoms, query.Atom{Name: a.Name, Vars: bitset.Set(a.Vars), Args: a.Args})
+	}
+	for i, c := range wp.Cons {
+		logN, err := ratIn(c.LogN, fmt.Sprintf("cons[%d].log_n", i))
+		if err != nil {
+			return nil, err
+		}
+		p.Cons = append(p.Cons, query.DegreeConstraint{
+			X: bitset.Set(c.X), Y: bitset.Set(c.Y), N: c.N, LogN: logN, Guard: c.Guard,
+		})
+	}
+	for _, td := range wp.TDs {
+		p.TDs = append(p.TDs, &hypergraph.Decomposition{Bags: setsIn(td.Bags), Parent: td.Parent})
+	}
+	for i, wr := range wp.Rules {
+		r, err := ruleIn(wr, i)
+		if err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, r)
+	}
+	var err error
+	if p.Width, err = ratIn(wp.Width, "width"); err != nil {
+		return nil, err
+	}
+	if err := validateDecoded(p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// validateDecoded re-checks every internal invariant the executor assumes,
+// so a decoded plan is exactly as trustworthy as a freshly prepared one.
+// The digest catches accidental corruption; this catches a well-formed file
+// describing an inconsistent plan (it is a checksum, not a proof).
+func validateDecoded(p *Plan) error {
+	switch p.Mode {
+	case ModeFull, ModeFhtw, ModeSubw:
+	default:
+		return fmt.Errorf("plan: decode: mode %d is not a committed plan mode", int(p.Mode))
+	}
+	q := &query.Conjunctive{Schema: p.Schema, Free: p.Free}
+	if err := validateQuery(q, p.Cons); err != nil {
+		return fmt.Errorf("plan: decode: %w", err)
+	}
+	full := bitset.Full(p.Schema.NumVars)
+	for _, b := range p.Bags {
+		if !b.SubsetOf(full) {
+			return fmt.Errorf("plan: decode: bag %v outside the universe [%d]", b, p.Schema.NumVars)
+		}
+	}
+	if len(p.TDBags) != len(p.TDs) {
+		return fmt.Errorf("plan: decode: %d bag-index rows for %d decompositions", len(p.TDBags), len(p.TDs))
+	}
+	for ti, td := range p.TDs {
+		if len(td.Parent) != len(td.Bags) || len(p.TDBags[ti]) != len(td.Bags) {
+			return fmt.Errorf("plan: decode: decomposition %d has inconsistent shapes", ti)
+		}
+		for bi, idx := range p.TDBags[ti] {
+			if idx < 0 || idx >= len(p.Bags) {
+				return fmt.Errorf("plan: decode: decomposition %d bag index %d out of range", ti, idx)
+			}
+			if p.Bags[idx] != td.Bags[bi] {
+				return fmt.Errorf("plan: decode: decomposition %d bag %d disagrees with the bag universe", ti, bi)
+			}
+		}
+	}
+	if p.Chosen < -1 || p.Chosen >= len(p.TDs) {
+		return fmt.Errorf("plan: decode: chosen decomposition %d out of range", p.Chosen)
+	}
+	for ti, tr := range p.Transversals {
+		for _, idx := range tr {
+			if idx < 0 || idx >= len(p.Bags) {
+				return fmt.Errorf("plan: decode: transversal %d bag index %d out of range", ti, idx)
+			}
+		}
+	}
+	switch p.Mode {
+	case ModeFull:
+		if len(p.Rules) != 1 {
+			return fmt.Errorf("plan: decode: ModeFull plan carries %d rules, want 1", len(p.Rules))
+		}
+	case ModeFhtw:
+		if p.Chosen < 0 {
+			return errors.New("plan: decode: ModeFhtw plan has no chosen decomposition")
+		}
+		if len(p.Rules) != len(p.TDs[p.Chosen].Bags) {
+			return fmt.Errorf("plan: decode: %d rules for %d chosen bags", len(p.Rules), len(p.TDs[p.Chosen].Bags))
+		}
+	case ModeSubw:
+		if len(p.Rules) != len(p.Transversals) {
+			return fmt.Errorf("plan: decode: %d rules for %d transversals", len(p.Rules), len(p.Transversals))
+		}
+	}
+	for i, r := range p.Rules {
+		if err := validateDecodedRule(r, full); err != nil {
+			return fmt.Errorf("plan: decode: rule %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func validateDecodedRule(pr *PreparedRule, full bitset.Set) error {
+	if len(pr.Targets) == 0 {
+		return errors.New("no targets")
+	}
+	for _, t := range pr.Targets {
+		if !t.SubsetOf(full) {
+			return fmt.Errorf("target %v outside the universe", t)
+		}
+	}
+	if pr.Bound == nil {
+		return errors.New("missing bound")
+	}
+	if pr.Trivial {
+		return nil
+	}
+	if len(pr.Lambda) == 0 || len(pr.Delta) == 0 {
+		return errors.New("non-trivial rule with empty witness vectors")
+	}
+	for _, s := range pr.Seq {
+		if s.W == nil {
+			return errors.New("proof step with nil weight")
+		}
+		if !s.A.SubsetOf(full) || !s.B.SubsetOf(full) {
+			return errors.New("proof step outside the universe")
+		}
+	}
+	return nil
+}
+
+// ---- Envelope I/O ----
+
+func digestOf(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+func encodeEnvelope(w io.Writer, format string, payload []byte) error {
+	env := envelope{Format: format, Version: FormatVersion, Digest: digestOf(payload), Payload: payload}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&env)
+}
+
+// decodeEnvelope parses and verifies one envelope of the expected format,
+// returning its raw payload bytes.
+func decodeEnvelope(data []byte, format string) ([]byte, error) {
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("plan: decode: malformed envelope: %w", err)
+	}
+	return verifyEnvelope(&env, format)
+}
+
+func verifyEnvelope(env *envelope, format string) ([]byte, error) {
+	if env.Format != format {
+		return nil, fmt.Errorf("plan: decode: format %q, want %q", env.Format, format)
+	}
+	if env.Version != FormatVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrCodecVersion, env.Version, FormatVersion)
+	}
+	if digestOf(env.Payload) != env.Digest {
+		return nil, ErrCodecDigest
+	}
+	return env.Payload, nil
+}
+
+// EncodePlan writes p to w in the versioned, digested wire format. The
+// encoding is deterministic: the same plan always yields the same bytes.
+func EncodePlan(w io.Writer, p *Plan) error {
+	wp, err := planOut(p)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(wp)
+	if err != nil {
+		return err
+	}
+	return encodeEnvelope(w, planFormat, payload)
+}
+
+// DecodePlan reads one encoded plan from r, verifying the format version
+// (ErrCodecVersion on mismatch), the payload digest (ErrCodecDigest) and
+// every internal invariant the executor assumes. The returned plan is
+// immutable and safe for concurrent Execute calls, exactly like the plan
+// Prepare returned to the encoder.
+func DecodePlan(r io.Reader) (*Plan, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := decodeEnvelope(data, planFormat)
+	if err != nil {
+		return nil, err
+	}
+	var wp wirePlan
+	if err := json.Unmarshal(payload, &wp); err != nil {
+		return nil, fmt.Errorf("plan: decode: malformed plan payload: %w", err)
+	}
+	return planIn(&wp)
+}
+
+// EncodeRule writes one prepared disjunctive rule to w; the wire format and
+// integrity guarantees match EncodePlan's (rules are the "plan" of the
+// disjunctive-datalog path, which has no surrounding Plan value).
+func EncodeRule(w io.Writer, pr *PreparedRule) error {
+	wr, err := ruleOut(pr)
+	if err != nil {
+		return err
+	}
+	payload, err := json.Marshal(&wr)
+	if err != nil {
+		return err
+	}
+	return encodeEnvelope(w, ruleFormat, payload)
+}
+
+// DecodeRule reads one encoded prepared rule from r with the same
+// version/digest checks as DecodePlan. The universe bound cannot be checked
+// without a schema, so targets are validated against the 32-variable codec
+// limit only; ExecuteRule re-validates against its schema.
+func DecodeRule(r io.Reader) (*PreparedRule, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := decodeEnvelope(data, ruleFormat)
+	if err != nil {
+		return nil, err
+	}
+	var wr wireRule
+	if err := json.Unmarshal(payload, &wr); err != nil {
+		return nil, fmt.Errorf("plan: decode: malformed rule payload: %w", err)
+	}
+	pr, err := ruleIn(wr, 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := validateDecodedRule(pr, bitset.Full(32)); err != nil {
+		return nil, fmt.Errorf("plan: decode: %w", err)
+	}
+	return pr, nil
+}

@@ -1,0 +1,388 @@
+package plan
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"panda/internal/bitset"
+	"panda/internal/query"
+)
+
+// encodePlan round-trips through the wire format, failing the test on any
+// codec error.
+func encodePlan(t *testing.T, p *Plan) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := EncodePlan(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEncodeDeterministic: encoding the same plan twice must produce
+// identical bytes (the digest and the snapshot diffing rely on it).
+func TestEncodeDeterministic(t *testing.T) {
+	q, cons := cycleQuery(4, nil, nil, 100)
+	for _, mode := range []Mode{ModeFull, ModeFhtw, ModeSubw} {
+		p, _, err := Prepare(q, cons, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		a, b := encodePlan(t, p), encodePlan(t, p)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%v: two encodings of the same plan differ", mode)
+		}
+	}
+}
+
+// TestEncodeDecodePlanFields: the decoded plan must carry every field of
+// the original, exactly.
+func TestEncodeDecodePlanFields(t *testing.T) {
+	q, cons := cycleQuery(4, nil, nil, 100)
+	for _, mode := range []Mode{ModeFull, ModeFhtw, ModeSubw} {
+		p, _, err := Prepare(q, cons, mode)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		got, err := DecodePlan(bytes.NewReader(encodePlan(t, p)))
+		if err != nil {
+			t.Fatalf("%v: decode: %v", mode, err)
+		}
+		if got.Mode != p.Mode || got.Key != p.Key || got.Free != p.Free || got.Chosen != p.Chosen {
+			t.Fatalf("%v: header fields differ: %+v vs %+v", mode, got, p)
+		}
+		if got.Width.Cmp(p.Width) != 0 {
+			t.Fatalf("%v: width %v ≠ %v", mode, got.Width, p.Width)
+		}
+		if len(got.Rules) != len(p.Rules) {
+			t.Fatalf("%v: %d rules ≠ %d", mode, len(got.Rules), len(p.Rules))
+		}
+		for i, r := range p.Rules {
+			g := got.Rules[i]
+			if g.Bound.Cmp(r.Bound) != 0 || len(g.Seq) != len(r.Seq) ||
+				len(g.Lambda) != len(r.Lambda) || len(g.Delta) != len(r.Delta) {
+				t.Fatalf("%v: rule %d differs after round trip", mode, i)
+			}
+			for p0, w := range r.Lambda {
+				if g.Lambda.Get(p0).Cmp(w) != 0 {
+					t.Fatalf("%v: rule %d λ%v differs", mode, i, p0)
+				}
+			}
+			for p0, w := range r.Delta {
+				if g.Delta.Get(p0).Cmp(w) != 0 {
+					t.Fatalf("%v: rule %d δ%v differs", mode, i, p0)
+				}
+			}
+			for j, s := range r.Seq {
+				gs := g.Seq[j]
+				if gs.Kind != s.Kind || gs.A != s.A || gs.B != s.B || gs.W.Cmp(s.W) != 0 {
+					t.Fatalf("%v: rule %d step %d differs", mode, i, j)
+				}
+			}
+		}
+		// The re-encoding of the decoded plan must be byte-identical.
+		if !bytes.Equal(encodePlan(t, got), encodePlan(t, p)) {
+			t.Fatalf("%v: re-encoding the decoded plan changed the bytes", mode)
+		}
+	}
+}
+
+// TestEncodeDecodeRule round-trips a prepared disjunctive rule.
+func TestEncodeDecodeRule(t *testing.T) {
+	s := &query.Schema{NumVars: 4, Atoms: []query.Atom{
+		{Name: "R", Vars: bitset.Of(0, 1)},
+		{Name: "S", Vars: bitset.Of(1, 2)},
+		{Name: "T", Vars: bitset.Of(2, 3)},
+	}}
+	var cons []query.DegreeConstraint
+	for i, a := range s.Atoms {
+		cons = append(cons, query.Cardinality(a.Vars, 64, i))
+	}
+	targets := []bitset.Set{bitset.Of(0, 1, 2), bitset.Of(1, 2, 3)}
+	pr, _, err := PrepareRule(s, cons, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeRule(&buf, pr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRule(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bound.Cmp(pr.Bound) != 0 || len(got.Seq) != len(pr.Seq) || len(got.Targets) != len(pr.Targets) {
+		t.Fatalf("rule differs after round trip: %+v vs %+v", got, pr)
+	}
+}
+
+// tamper unmarshals an envelope, applies fn, and re-marshals it.
+func tamper(t *testing.T, data []byte, fn func(env map[string]any)) []byte {
+	t.Helper()
+	var env map[string]any
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	fn(env)
+	out, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// tamperCache edits a cache snapshot through the typed envelope, so the
+// untouched entries' raw payload bytes (and digests) survive re-marshaling.
+func tamperCache(t *testing.T, data []byte, fn func(env *cacheEnvelope)) []byte {
+	t.Helper()
+	var env cacheEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatal(err)
+	}
+	fn(&env)
+	out, err := json.Marshal(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestDecodeRejectsBadInput: wrong versions, digests, truncation and
+// garbage must all be rejected cleanly, with the typed sentinels where they
+// apply.
+func TestDecodeRejectsBadInput(t *testing.T) {
+	q, cons := cycleQuery(4, nil, nil, 100)
+	p, _, err := Prepare(q, cons, ModeFhtw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := encodePlan(t, p)
+
+	t.Run("wrong-version", func(t *testing.T) {
+		bad := tamper(t, enc, func(env map[string]any) { env["version"] = FormatVersion + 1 })
+		if _, err := DecodePlan(bytes.NewReader(bad)); !errors.Is(err, ErrCodecVersion) {
+			t.Fatalf("err = %v, want ErrCodecVersion", err)
+		}
+	})
+	t.Run("digest-mismatch", func(t *testing.T) {
+		bad := tamper(t, enc, func(env map[string]any) {
+			env["plan"] = json.RawMessage(`{"mode":1,"num_vars":1,"atoms":[{"name":"R","vars":1}],"free":1,"rules":[],"width":"0","chosen":-1}`)
+		})
+		if _, err := DecodePlan(bytes.NewReader(bad)); !errors.Is(err, ErrCodecDigest) {
+			t.Fatalf("err = %v, want ErrCodecDigest", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := DecodePlan(bytes.NewReader(enc[:len(enc)/2])); err == nil {
+			t.Fatal("truncated input decoded without error")
+		}
+	})
+	t.Run("garbage", func(t *testing.T) {
+		if _, err := DecodePlan(strings.NewReader("not a plan at all")); err == nil {
+			t.Fatal("garbage decoded without error")
+		}
+	})
+	t.Run("wrong-format-tag", func(t *testing.T) {
+		bad := tamper(t, enc, func(env map[string]any) { env["format"] = "panda-rule" })
+		if _, err := DecodePlan(bytes.NewReader(bad)); err == nil {
+			t.Fatal("format-tag mismatch decoded without error")
+		}
+	})
+	t.Run("inconsistent-plan", func(t *testing.T) {
+		// A digest-valid payload describing an out-of-range chosen
+		// decomposition must fail semantic validation.
+		var buf bytes.Buffer
+		bad := *p
+		bad.Chosen = len(p.TDs) + 3
+		if err := EncodePlan(&buf, &bad); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodePlan(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Fatal("inconsistent plan decoded without error")
+		}
+	})
+}
+
+// TestSaveLoadCacheWarmHit is the tentpole property: a planner re-seeded
+// from a snapshot answers previously planned queries with zero LP solves,
+// crediting LPSolvesSaved with the recorded build cost.
+func TestSaveLoadCacheWarmHit(t *testing.T) {
+	q, cons := cycleQuery(4, nil, nil, 100)
+	donor := NewPlanner(8)
+	if _, err := donor.Prepare(q, cons, ModeSubw); err != nil {
+		t.Fatal(err)
+	}
+	built := donor.Stats()
+	if built.LPSolves == 0 {
+		t.Fatal("donor paid no LP solves")
+	}
+
+	var buf bytes.Buffer
+	if err := donor.SaveCache(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewPlanner(8)
+	stats, err := fresh.LoadCache(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != 1 || stats.Skipped != 0 {
+		t.Fatalf("load stats %v, want loaded=1 skipped=0", stats)
+	}
+	if fresh.Len() != 1 {
+		t.Fatalf("fresh planner holds %d plans, want 1", fresh.Len())
+	}
+
+	// The same query — and a renamed variant — must hit without planning.
+	if _, err := fresh.Prepare(q, cons, ModeSubw); err != nil {
+		t.Fatal(err)
+	}
+	qr, cr := cycleQuery(4, []int{2, 3, 0, 1}, nil, 100)
+	if _, err := fresh.Prepare(qr, cr, ModeSubw); err != nil {
+		t.Fatal(err)
+	}
+	st := fresh.Stats()
+	if st.LPSolves != 0 || st.Misses != 0 {
+		t.Fatalf("warm planner did planning work: %v", st)
+	}
+	if st.Hits != 2 {
+		t.Fatalf("hits = %d, want 2", st.Hits)
+	}
+	if st.LPSolvesSaved != 2*built.LPSolves {
+		t.Fatalf("lp-saved = %d, want %d (2 hits × recorded cost %d)",
+			st.LPSolvesSaved, 2*built.LPSolves, built.LPSolves)
+	}
+}
+
+// TestLoadCacheSkipsBadEntries: a snapshot with one tampered entry loads
+// the rest and reports the skip.
+func TestLoadCacheSkipsBadEntries(t *testing.T) {
+	donor := NewPlanner(8)
+	q4, c4 := cycleQuery(4, nil, nil, 100)
+	q3, c3 := cycleQuery(3, nil, nil, 100)
+	if _, err := donor.Prepare(q4, c4, ModeFhtw); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := donor.Prepare(q3, c3, ModeFhtw); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := donor.SaveCache(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	bad := tamperCache(t, buf.Bytes(), func(env *cacheEnvelope) {
+		env.Entries[0].Digest = strings.Repeat("0", 64)
+	})
+	fresh := NewPlanner(8)
+	stats, err := fresh.LoadCache(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != 1 || stats.Skipped != 1 {
+		t.Fatalf("load stats %v, want loaded=1 skipped=1", stats)
+	}
+	if !errors.Is(stats.FirstErr, ErrCodecDigest) {
+		t.Fatalf("FirstErr = %v, want ErrCodecDigest", stats.FirstErr)
+	}
+	if fresh.Len() != 1 {
+		t.Fatalf("planner holds %d plans, want 1", fresh.Len())
+	}
+}
+
+// TestLoadCacheSkipsWholeSnapshotOnVersionMismatch: a snapshot from a
+// different format version loads nothing, fails nothing.
+func TestLoadCacheSkipsWholeSnapshotOnVersionMismatch(t *testing.T) {
+	donor := NewPlanner(8)
+	q, cons := cycleQuery(4, nil, nil, 100)
+	if _, err := donor.Prepare(q, cons, ModeFhtw); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := donor.SaveCache(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad := tamperCache(t, buf.Bytes(), func(env *cacheEnvelope) { env.Version = FormatVersion + 1 })
+	fresh := NewPlanner(8)
+	stats, err := fresh.LoadCache(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != 0 || stats.Skipped != 1 || !errors.Is(stats.FirstErr, ErrCodecVersion) {
+		t.Fatalf("load stats %v, want loaded=0 skipped=1 ErrCodecVersion", stats)
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("planner holds %d plans, want 0", fresh.Len())
+	}
+	// Even an EMPTY snapshot at the wrong version must count a skip, so a
+	// version mismatch can never read as a clean no-op.
+	empty := strings.NewReader(`{"format":"panda-plan-cache","version":99,"entries":[]}`)
+	stats, err = fresh.LoadCache(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Skipped != 1 || !errors.Is(stats.FirstErr, ErrCodecVersion) {
+		t.Fatalf("empty wrong-version snapshot: stats %v, want skipped=1 ErrCodecVersion", stats)
+	}
+}
+
+// TestLoadCachePreservesLiveEntries: an import never clobbers a plan the
+// cache already holds, and malformed containers error without mutating.
+func TestLoadCachePreservesLiveEntries(t *testing.T) {
+	pl := NewPlanner(8)
+	q, cons := cycleQuery(4, nil, nil, 100)
+	if _, err := pl.Prepare(q, cons, ModeFhtw); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := pl.SaveCache(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Importing its own snapshot: the single key is already live.
+	stats, err := pl.LoadCache(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != 0 || stats.Skipped != 0 || stats.Duplicates != 1 {
+		t.Fatalf("self-import stats %v, want loaded=0 skipped=0 duplicates=1", stats)
+	}
+	if pl.Len() != 1 {
+		t.Fatalf("planner holds %d plans, want 1", pl.Len())
+	}
+	if _, err := pl.LoadCache(strings.NewReader("junk")); err == nil {
+		t.Fatal("malformed container loaded without error")
+	}
+}
+
+// TestLoadCacheRespectsCapacity: importing more plans than the cache holds
+// evicts down to capacity.
+func TestLoadCacheRespectsCapacity(t *testing.T) {
+	donor := NewPlanner(8)
+	for _, k := range []int{3, 4, 5} {
+		q, cons := cycleQuery(k, nil, nil, 100)
+		if _, err := donor.Prepare(q, cons, ModeFhtw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := donor.SaveCache(&buf); err != nil {
+		t.Fatal(err)
+	}
+	small := NewPlanner(2)
+	stats, err := small.LoadCache(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Loaded != 3 {
+		t.Fatalf("loaded %d, want 3", stats.Loaded)
+	}
+	if small.Len() != 2 {
+		t.Fatalf("planner holds %d plans, want capacity 2", small.Len())
+	}
+	if small.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", small.Stats().Evictions)
+	}
+}

@@ -57,6 +57,7 @@ func (m *metrics) write(w io.Writer, s *Server) {
 	counter("panda_planner_lp_solves_total", "Exact simplex solves performed across all plan builds.", st.LPSolves)
 	counter("panda_planner_lp_solves_saved_total", "Simplex solves avoided by plan-cache hits.", st.LPSolvesSaved)
 	counter("panda_planner_plans_built_total", "Plans constructed (misses, plus lost build races).", st.PlansBuilt)
+	fmt.Fprintf(w, "# HELP panda_planner_cache_plans Plans currently held by the signature cache (including warm-loaded ones).\n# TYPE panda_planner_cache_plans gauge\npanda_planner_cache_plans %d\n", s.db.Planner().Len())
 
 	entries, hits, misses := s.stmts.snapshot()
 	fmt.Fprintf(w, "# HELP panda_stmt_cache_entries Prepared statements currently cached.\n# TYPE panda_stmt_cache_entries gauge\npanda_stmt_cache_entries %d\n", entries)

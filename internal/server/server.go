@@ -10,12 +10,20 @@
 //
 //	POST   /v1/query                 run a query; rows stream as JSON
 //	GET    /v1/plan?q=…[&mode=…]     dry-run prepare: committed mode + width certificate
+//	GET    /v1/plans                 export the plan cache (panda-plan-cache snapshot)
+//	PUT    /v1/plans                 import a snapshot; 422 on version/digest mismatch
 //	GET    /v1/relations             list the catalog
 //	POST   /v1/relations             create a relation {"name","arity"}
 //	DELETE /v1/relations/{name}      drop a relation
 //	POST   /v1/relations/{name}/rows insert tuples {"rows":[[…],…]}
 //	POST   /v1/relations/{name}/csv  bulk-ingest a CSV body
 //	GET    /metrics                  Prometheus text: planner, stmt cache, per-endpoint latency
+//
+// The plan-shipping pair is the horizontal-serving seam: one planning tier
+// pays the LP solves, exports its cache with GET /v1/plans, and a fleet of
+// replicas imports it with PUT /v1/plans — every replica then answers the
+// covered query shapes with zero planning work, exactly as a pandad
+// -plan-dir warm restart does from disk.
 //
 // Every request runs under its own context (bound straight to
 // db.QueryContext), optionally capped by the configured per-request
@@ -87,6 +95,8 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("POST /v1/query", s.wrap("query", s.handleQuery))
 	s.mux.HandleFunc("GET /v1/plan", s.wrap("plan", s.handlePlan))
+	s.mux.HandleFunc("GET /v1/plans", s.wrap("plans", s.handleExportPlans))
+	s.mux.HandleFunc("PUT /v1/plans", s.wrap("plans", s.handleImportPlans))
 	s.mux.HandleFunc("GET /v1/relations", s.wrap("relations", s.handleListRelations))
 	s.mux.HandleFunc("POST /v1/relations", s.wrap("relations", s.handleCreateRelation))
 	s.mux.HandleFunc("DELETE /v1/relations/{name}", s.wrap("relations", s.handleDropRelation))
@@ -206,6 +216,10 @@ func codeOf(err error) string {
 		return "not_conjunctive"
 	case errors.Is(err, panda.ErrClosed):
 		return "closed"
+	case errors.Is(err, panda.ErrPlanVersion):
+		return "plan_version"
+	case errors.Is(err, panda.ErrPlanDigest):
+		return "plan_digest"
 	default:
 		return "bad_request"
 	}
@@ -410,6 +424,45 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		resp["signature"] = fmt.Sprintf("%x", fnv32(info.Key))
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /v1/plans (plan shipping) ----
+
+// handleExportPlans streams the session's plan cache as one
+// panda-plan-cache snapshot — the same bytes a pandad -plan-dir snapshot
+// writes to disk, so routers and replicas need exactly one format.
+func (s *Server) handleExportPlans(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.db.SavePlans(w); err != nil {
+		// Headers are already out; all we can do is log through the status.
+		s.fail(w, err)
+	}
+}
+
+// maxPlansImportBytes bounds a PUT /v1/plans body; the import buffers the
+// snapshot before validating, so an unbounded read would let one request
+// balloon the process. Plans are small (a few KB each), so this is roomy.
+const maxPlansImportBytes = 64 << 20
+
+// handleImportPlans installs a snapshot into the session planner. The load
+// itself is skip-don't-fail, but an importing operator needs to know when
+// entries were dropped, so any skip surfaces as 422 (with the loaded/
+// skipped split and the first rejection reason); a malformed container is
+// a plain 400.
+func (s *Server) handleImportPlans(w http.ResponseWriter, r *http.Request) {
+	stats, err := s.db.LoadPlans(http.MaxBytesReader(w, r.Body, maxPlansImportBytes))
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	body := map[string]any{"loaded": stats.Loaded, "skipped": stats.Skipped, "duplicates": stats.Duplicates}
+	if stats.Skipped > 0 {
+		body["error"] = stats.FirstErr.Error()
+		body["code"] = codeOf(stats.FirstErr)
+		writeJSON(w, http.StatusUnprocessableEntity, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // fnv32 digests a canonical signature key for display (the raw key is an

@@ -2,6 +2,7 @@ package panda
 
 import (
 	"context"
+	"io"
 	"math/big"
 	"sync"
 
@@ -42,6 +43,15 @@ const (
 
 // PlannerStats snapshots a Planner's cache and planning counters.
 type PlannerStats = plan.Stats
+
+// PlanCacheLoadStats reports what a plan-cache import did: entries loaded,
+// entries skipped, and the first rejection reason (dispatch on it with
+// errors.Is against ErrPlanVersion / ErrPlanDigest).
+type PlanCacheLoadStats = plan.CacheLoadStats
+
+// PlanFormatVersion is the wire-format version of encoded plans and plan-
+// cache snapshots; decoders reject other versions.
+const PlanFormatVersion = plan.FormatVersion
 
 // ProofStep is one weighted Shannon-flow proof step (Definition 5.7).
 type ProofStep = flow.Step
@@ -102,6 +112,25 @@ func (pl *Planner) PrepareForMode(q *Query, ins *Instance, dcs []Constraint, mod
 
 // Stats returns the planner's hit/miss/eviction/LP counters.
 func (pl *Planner) Stats() PlannerStats { return pl.inner.Stats() }
+
+// Len reports how many plans the cache currently holds.
+func (pl *Planner) Len() int { return pl.inner.Len() }
+
+// SaveCache writes every cached plan to w (most recently used first) in the
+// versioned, digested panda-plan-cache format; LoadCache on another Planner
+// — typically in a restarted or replica process — re-seeds its cache so
+// previously planned queries are answered with zero LP solves.
+func (pl *Planner) SaveCache(w io.Writer) error { return pl.inner.SaveCache(w) }
+
+// LoadCache reads a panda-plan-cache snapshot from r. Individual entries
+// are skipped (never fatal) on a format-version or digest mismatch or a
+// malformed payload, and keys the cache already holds count as benign
+// duplicates; the returned stats say what happened. Loaded entries keep
+// their recorded LP build cost, so cache hits on them credit LPSolvesSaved
+// exactly as in the donor process.
+func (pl *Planner) LoadCache(r io.Reader) (PlanCacheLoadStats, error) {
+	return pl.inner.LoadCache(r)
+}
 
 // PreparedQuery is a query whose planning phase has already run; Eval
 // executes only the data-dependent part. Safe for concurrent Eval calls.
