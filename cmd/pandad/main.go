@@ -8,6 +8,7 @@
 //
 //	pandad [-addr :8080] [-j N] [-timeout D] [-planner-cap N] [-stmt-cap N]
 //	       [-load-dir DIR] [-plan-dir DIR] [-snapshot-every D]
+//	       [-shape-cap N] [-slow-query-threshold D] [-pprof]
 //
 // -j bounds how many independent rule executions run concurrently per query
 // (0 picks the number of CPUs); -timeout caps each request's context (a
@@ -24,6 +25,13 @@
 // graceful shutdown. The same snapshot format ships over GET/PUT
 // /v1/plans, so a fleet can also be warmed over HTTP from one planning
 // tier.
+//
+// Observability: GET /metrics exposes latency histograms and per-shape
+// series keyed by plan signature digest (cardinality bounded by
+// -shape-cap, with an "other" rollup); GET /v1/shapes is the JSON view.
+// -slow-query-threshold emits one structured JSON line to stderr for every
+// query at or over the threshold; -pprof mounts net/http/pprof under
+// /debug/pprof/.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, in-flight
 // queries drain, the plan cache is snapshotted, then the session closes.
@@ -58,6 +66,9 @@ func main() {
 	planDir := flag.String("plan-dir", "", "persist the plan cache in this directory (warm-load on boot, snapshot on shutdown)")
 	snapEvery := flag.Duration("snapshot-every", 5*time.Minute, "how often to snapshot the plan cache to -plan-dir (0 = only on shutdown)")
 	drain := flag.Duration("drain", 15*time.Second, "how long shutdown waits for in-flight queries")
+	shapeCap := flag.Int("shape-cap", 0, "per-shape telemetry table capacity (0 = default)")
+	slowQuery := flag.Duration("slow-query-threshold", 0, "log queries at least this slow as JSON lines on stderr (0 = off)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 	if *jobs == 0 {
 		*jobs = runtime.NumCPU()
@@ -93,7 +104,15 @@ func main() {
 		}
 	}
 
-	srv := server.New(server.Config{DB: db, Timeout: *timeout, StmtCacheSize: *stmtCap})
+	srv := server.New(server.Config{
+		DB:                 db,
+		Timeout:            *timeout,
+		StmtCacheSize:      *stmtCap,
+		ShapeTableSize:     *shapeCap,
+		SlowQueryThreshold: *slowQuery,
+		SlowQueryLog:       os.Stderr,
+		Pprof:              *pprofOn,
+	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"panda/internal/bitset"
 	"panda/internal/core"
@@ -87,6 +88,14 @@ func WithCheckInvariants(on bool) Option { return func(c *config) { c.core.Check
 // WithBudgetDisabled turns off the 2^OBJ composition budget (the ablation
 // switch): outputs stay correct but the runtime guarantee is forfeited.
 func WithBudgetDisabled(on bool) Option { return func(c *config) { c.core.DisableBudget = on } }
+
+// WithStageTimings records wall-clock stage timings — prepare-wait,
+// per-proof-step-kind engine time, rule fan-out, merge — into
+// Result.Timings. Off by default; when off, the execution path makes no
+// clock calls. Timings are observability data, not part of the
+// deterministic result: they vary run to run even though the rows, Stats
+// and trace stay byte-identical.
+func WithStageTimings(on bool) Option { return func(c *config) { c.core.StageTimings = on } }
 
 // WithParallelism bounds how many of a plan's independent per-bag
 // (ModeFhtw) and per-transversal (ModeSubw) rule executions may run
@@ -579,13 +588,24 @@ func (db *DB) evalConjunctive(ctx context.Context, q *Query, ins *Instance, dcs 
 	if db.isClosed() {
 		return nil, ErrClosed
 	}
+	var prepStart time.Time
+	if cfg.core.StageTimings {
+		prepStart = time.Now()
+	}
 	p, err := db.prepareConjunctive(ctx, q, ins, dcs, cfg)
 	if err != nil {
 		return nil, err
 	}
+	var prepWait time.Duration
+	if cfg.core.StageTimings {
+		prepWait = time.Since(prepStart)
+	}
 	ex, err := cfg.executor().Execute(ctx, p, ins)
 	if err != nil {
 		return nil, err
+	}
+	if ex.Timings != nil {
+		ex.Timings.PrepareWait = prepWait
 	}
 	out := projectFree(ex.Out, p.Free)
 	ok := ex.NonEmpty
@@ -599,14 +619,16 @@ func (db *DB) evalConjunctive(ctx context.Context, q *Query, ins *Instance, dcs 
 		}
 	}
 	return &Result{
-		Rel:     out,
-		Columns: cols,
-		OK:      ok,
-		Width:   ex.Width,
-		Mode:    ex.Mode,
-		Tables:  ex.Tables,
-		Bound:   ex.Bound,
-		Stats:   ex.Stats,
+		Rel:       out,
+		Columns:   cols,
+		OK:        ok,
+		Width:     ex.Width,
+		Mode:      ex.Mode,
+		Tables:    ex.Tables,
+		Bound:     ex.Bound,
+		Stats:     ex.Stats,
+		Signature: SignatureDigest(p.Key),
+		Timings:   ex.Timings,
 	}, nil
 }
 
@@ -626,11 +648,12 @@ func (db *DB) evalRule(ctx context.Context, p *Rule, ins *Instance, dcs []Constr
 		}
 	}
 	return &Result{
-		OK:     ok,
-		Width:  res.Bound,
-		Mode:   ModeRule,
-		Tables: res.Tables,
-		Bound:  res.Bound,
-		Stats:  res.Stats,
+		OK:      ok,
+		Width:   res.Bound,
+		Mode:    ModeRule,
+		Tables:  res.Tables,
+		Bound:   res.Bound,
+		Stats:   res.Stats,
+		Timings: res.Timings,
 	}, nil
 }

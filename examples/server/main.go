@@ -9,8 +9,10 @@
 //
 // It creates two relations, inserts tuples, runs the same query twice —
 // the repeat is served from the plan cache with zero additional LP solves,
-// which the /metrics scrape at the end shows — and asks /v1/plan for the
-// committed mode and width certificate without executing.
+// which the /metrics scrape at the end shows — asks /v1/plan for the
+// committed mode and width certificate without executing, and fetches
+// /v1/shapes to show the per-shape telemetry both runs landed on (one
+// digest, two requests).
 package main
 
 import (
@@ -61,6 +63,30 @@ func main() {
 		if strings.HasPrefix(line, "panda_planner_") && !strings.HasPrefix(line, "#") {
 			fmt.Println("metric    :", line)
 		}
+	}
+
+	// Per-shape telemetry: both executions collapse onto one signature
+	// digest, so the shape table reports a single entry with two requests
+	// and its latency quantiles.
+	shapes, err := get(*addr + "/v1/shapes")
+	must(shapes, err)
+	var view struct {
+		Shapes []struct {
+			Digest string            `json:"digest"`
+			Reqs   map[string]uint64 `json:"requests"`
+			Rows   uint64            `json:"rows"`
+			Lat    struct {
+				P50 float64 `json:"p50_seconds"`
+				P99 float64 `json:"p99_seconds"`
+			} `json:"latency"`
+		} `json:"shapes"`
+	}
+	if err := json.Unmarshal([]byte(shapes), &view); err != nil {
+		log.Fatal(err)
+	}
+	for _, sh := range view.Shapes {
+		fmt.Printf("shape     : digest=%s requests=%v rows=%d p50=%.6fs p99=%.6fs\n",
+			sh.Digest, sh.Reqs, sh.Rows, sh.Lat.P50, sh.Lat.P99)
 	}
 }
 

@@ -103,6 +103,10 @@ type ExecResult struct {
 	Mode plan.Mode
 	// Stats accumulates the engine work across all executed rules.
 	Stats *Stats
+	// Timings holds per-stage wall-clock timings (per-proof-step-kind
+	// engine time, rule fan-out, merge); nil unless Options.StageTimings
+	// was set. Unlike Stats, timings vary run to run.
+	Timings *Timings
 }
 
 // Execute runs the data-dependent phase of a prepared plan over an instance

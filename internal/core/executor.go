@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"panda/internal/bitset"
 	"panda/internal/flow"
@@ -55,6 +56,10 @@ func (ex *Executor) ExecuteRule(ctx context.Context, s *query.Schema, pr *plan.P
 		return trivialResult(), nil
 	}
 	stats := newStats()
+	var timings *Timings
+	if ex.Opt.StageTimings {
+		timings = newTimings()
+	}
 	e := &engine{
 		ctx:     ctx,
 		n:       s.NumVars,
@@ -62,6 +67,7 @@ func (ex *Executor) ExecuteRule(ctx context.Context, s *query.Schema, pr *plan.P
 		objLog:  pr.Bound,
 		opt:     ex.Opt,
 		stats:   stats,
+		timings: timings,
 		schema:  s,
 	}
 	e.objFloat, _ = pr.Bound.Float64()
@@ -101,7 +107,7 @@ func (ex *Executor) ExecuteRule(ctx context.Context, s *query.Schema, pr *plan.P
 			tables[b] = relation.New(fmt.Sprintf("T_%s", s.VarLabel(b)), b)
 		}
 	}
-	return &Result{Tables: tables, Bound: pr.Bound, Stats: stats}, nil
+	return &Result{Tables: tables, Bound: pr.Bound, Stats: stats, Timings: timings}, nil
 }
 
 // EvalDisjunctive runs PANDA (Algorithm 1) on a disjunctive datalog rule:
@@ -137,11 +143,23 @@ func (ex *Executor) EvalDisjunctive(ctx context.Context, p *query.Disjunctive, i
 				p.Atoms[c.Guard].Name, c.Y)
 		}
 	}
+	var prepStart time.Time
+	if ex.Opt.StageTimings {
+		prepStart = time.Now()
+	}
 	pr, _, err := plan.PrepareRuleContext(ctx, &p.Schema, dcs, p.Targets)
 	if err != nil {
 		return nil, err
 	}
-	return ex.ExecuteRule(ctx, &p.Schema, pr, dcs, ins)
+	var prepWait time.Duration
+	if ex.Opt.StageTimings {
+		prepWait = time.Since(prepStart)
+	}
+	res, err := ex.ExecuteRule(ctx, &p.Schema, pr, dcs, ins)
+	if err == nil && res.Timings != nil {
+		res.Timings.PrepareWait = prepWait
+	}
+	return res, err
 }
 
 // Execute runs the data-dependent phase of a prepared plan over an
@@ -167,11 +185,30 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 		return nil, fmt.Errorf("core: instance has %d relations for %d atoms",
 			len(ins.Relations), len(p.Schema.Atoms))
 	}
+	// Stage clocks: tick() banks the elapsed wall-clock since the previous
+	// tick and restarts the clock; a nil-safe no-op when timings are off.
+	var t0 time.Time
+	timed := ex.Opt.StageTimings
+	tick := func() time.Duration {
+		if !timed {
+			return 0
+		}
+		d := time.Since(t0)
+		t0 = time.Now()
+		return d
+	}
+	if timed {
+		t0 = time.Now()
+	}
 	switch p.Mode {
 	case plan.ModeFull:
 		res, err := ex.ExecuteRule(ctx, &p.Schema, p.Rules[0], p.Cons, ins)
 		if err != nil {
 			return nil, err
+		}
+		tm := res.Timings
+		if tm != nil {
+			tm.RuleFanout = tick()
 		}
 		// Semijoin reduction with every input removes spurious tuples
 		// (Corollary 7.10).
@@ -179,7 +216,10 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 		for _, r := range ins.Relations {
 			t = t.Semijoin(r)
 		}
-		return &ExecResult{Out: t, NonEmpty: t.Size() > 0, Tables: res.Tables, Bound: res.Bound, Stats: res.Stats}, nil
+		if tm != nil {
+			tm.Merge = tick()
+		}
+		return &ExecResult{Out: t, NonEmpty: t.Size() > 0, Tables: res.Tables, Bound: res.Bound, Stats: res.Stats, Timings: tm}, nil
 
 	case plan.ModeFhtw:
 		td := p.TDs[p.Chosen]
@@ -200,9 +240,17 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 		if err != nil {
 			return nil, err
 		}
+		var tm *Timings
+		if timed {
+			tm = newTimings()
+			tm.RuleFanout = tick()
+		}
 		stats := newStats()
 		for _, res := range ress {
 			accumulate(stats, res.Stats)
+			if tm != nil {
+				tm.Accumulate(res.Timings)
+			}
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -212,13 +260,19 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 			if err != nil {
 				return nil, err
 			}
-			return &ExecResult{NonEmpty: ok, Stats: stats}, nil
+			if tm != nil {
+				tm.Merge = tick()
+			}
+			return &ExecResult{NonEmpty: ok, Stats: stats, Timings: tm}, nil
 		}
 		out, err := yannakakis.Join(rels, td.Parent)
 		if err != nil {
 			return nil, err
 		}
-		return &ExecResult{Out: out, NonEmpty: out.Size() > 0, Stats: stats}, nil
+		if tm != nil {
+			tm.Merge = tick()
+		}
+		return &ExecResult{Out: out, NonEmpty: out.Size() > 0, Stats: stats, Timings: tm}, nil
 
 	case plan.ModeSubw:
 		// One rule per inclusion-minimal transversal; the rules are
@@ -236,10 +290,18 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 		if err != nil {
 			return nil, err
 		}
+		var tm *Timings
+		if timed {
+			tm = newTimings()
+			tm.RuleFanout = tick()
+		}
 		stats := newStats()
 		tables := map[bitset.Set]*relation.Relation{}
 		for _, res := range ress {
 			accumulate(stats, res.Stats)
+			if tm != nil {
+				tm.Accumulate(res.Timings)
+			}
 			mergeTables(tables, res.Tables)
 		}
 		// Semijoin-reduce every bag table with the inputs.
@@ -289,10 +351,13 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 		if evaluated == 0 {
 			return nil, fmt.Errorf("core: no tree decomposition fully covered by transversal bags")
 		}
-		if p.Free == 0 {
-			return &ExecResult{NonEmpty: answer, Stats: stats}, nil
+		if tm != nil {
+			tm.Merge = tick()
 		}
-		return &ExecResult{Out: out, NonEmpty: out.Size() > 0, Stats: stats}, nil
+		if p.Free == 0 {
+			return &ExecResult{NonEmpty: answer, Stats: stats, Timings: tm}, nil
+		}
+		return &ExecResult{Out: out, NonEmpty: out.Size() > 0, Stats: stats, Timings: tm}, nil
 	}
 	return nil, fmt.Errorf("core: plan mode %v is not executable", p.Mode)
 }

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"math/big"
+	"time"
 
 	"panda/internal/bitset"
 	"panda/internal/flow"
@@ -36,6 +37,91 @@ type Stats struct {
 
 func newStats() *Stats { return &Stats{StepsByKind: map[string]int{}} }
 
+// Timings attributes wall-clock time to the stages of one execution:
+// planning wait, per-proof-step-kind engine work, the rule fan-out, and the
+// post-fan-out merge. Unlike Stats, timings are inherently nondeterministic
+// run to run, so they live outside Stats — the byte-identical-merge
+// guarantee of parallel execution covers Stats but not Timings. Collection
+// is gated by Options.StageTimings; when off, the engine makes no clock
+// calls at all.
+type Timings struct {
+	// PrepareWait is the time the run spent waiting for its plan: a plan-
+	// cache hit costs microseconds, a miss pays the LP solves. Filled by
+	// the facade (the executor never sees planning).
+	PrepareWait time.Duration
+	// Steps maps each proof-step kind (submodularity, monotonicity,
+	// decomposition, composition) to the engine time it consumed,
+	// excluding nested subproblem runs — a child's steps account for
+	// themselves.
+	Steps map[string]time.Duration
+	// RuleFanout is the wall-clock of the rule fan-out phase: every
+	// per-bag / per-transversal rule execution, including pool scheduling.
+	// Under parallelism this is wall time, not the sum of per-rule work.
+	RuleFanout time.Duration
+	// Merge is the wall-clock of the post-fan-out merge: stats
+	// accumulation, semijoin reductions and Yannakakis passes.
+	Merge time.Duration
+}
+
+func newTimings() *Timings { return &Timings{Steps: map[string]time.Duration{}} }
+
+// Accumulate folds src into t (per-step sums; stage sums).
+func (t *Timings) Accumulate(src *Timings) {
+	if src == nil {
+		return
+	}
+	for k, d := range src.Steps {
+		t.Steps[k] += d
+	}
+	t.PrepareWait += src.PrepareWait
+	t.RuleFanout += src.RuleFanout
+	t.Merge += src.Merge
+}
+
+// Seconds flattens the timings into float64 seconds per stage, the shape a
+// serving layer exposes (JSON responses, slow-query logs).
+func (t *Timings) Seconds() map[string]float64 {
+	out := map[string]float64{
+		"prepare_wait": t.PrepareWait.Seconds(),
+		"rule_fanout":  t.RuleFanout.Seconds(),
+		"merge":        t.Merge.Seconds(),
+	}
+	for k, d := range t.Steps {
+		out["step_"+k] = d.Seconds()
+	}
+	return out
+}
+
+// stepTimer attributes wall-clock to one proof-step kind. Recursive step
+// handlers (decomposition, Case-4b composition) pause it around the nested
+// e.run so child steps are not double-counted. A nil timer (timings
+// disabled) makes every method a no-op.
+type stepTimer struct {
+	e    *engine
+	kind string
+	t0   time.Time
+}
+
+func (e *engine) startStep(kind string) *stepTimer {
+	if e.timings == nil {
+		return nil
+	}
+	return &stepTimer{e: e, kind: kind, t0: time.Now()}
+}
+
+// pause banks the elapsed segment; resume starts a new one.
+func (t *stepTimer) pause() {
+	if t != nil {
+		t.e.timings.Steps[t.kind] += time.Since(t.t0)
+	}
+}
+
+func (t *stepTimer) resume() {
+	if t != nil {
+		t.t0 = time.Now()
+	}
+}
+
 // Options tunes a PANDA run.
 type Options struct {
 	// Trace records one line per relational operation in Stats.Trace.
@@ -50,6 +136,10 @@ type Options struct {
 	// intermediates blow up to the fhtw regime. Used by the ablation
 	// benchmarks.
 	DisableBudget bool
+	// StageTimings records wall-clock stage timings (per-step-kind engine
+	// time, rule fan-out, merge) into Result.Timings / ExecResult.Timings.
+	// Off by default: the disabled path makes no clock calls.
+	StageTimings bool
 }
 
 // Result is the outcome of a disjunctive-rule evaluation.
@@ -61,6 +151,9 @@ type Result struct {
 	// log₂ units.
 	Bound *big.Rat
 	Stats *Stats
+	// Timings holds per-stage wall-clock timings; nil unless
+	// Options.StageTimings was set.
+	Timings *Timings
 }
 
 // rtCon is a runtime degree constraint (Z, W, N_{W|Z}) with its guard.
@@ -79,6 +172,7 @@ type engine struct {
 	objFloat float64
 	opt      Options
 	stats    *Stats
+	timings  *Timings // nil unless opt.StageTimings
 	schema   *query.Schema
 	restarts int
 }
@@ -196,19 +290,24 @@ func (e *engine) run(f *frame) (map[bitset.Set]*relation.Relation, error) {
 		step := f.seq[0]
 		f.seq = f.seq[1:]
 		e.stats.StepsByKind[step.Kind.String()]++
+		st := e.startStep(step.Kind.String())
 		switch step.Kind {
 		case flow.Submodularity:
-			if err := e.stepSubmodularity(f, step); err != nil {
+			err := e.stepSubmodularity(f, step)
+			st.pause()
+			if err != nil {
 				return nil, err
 			}
 		case flow.Monotonicity:
-			if err := e.stepMonotonicity(f, step); err != nil {
+			err := e.stepMonotonicity(f, step)
+			st.pause()
+			if err != nil {
 				return nil, err
 			}
 		case flow.Decomposition:
-			return e.stepDecomposition(f, step)
+			return e.stepDecomposition(f, step, st)
 		case flow.Composition:
-			done, out, err := e.stepComposition(f, step)
+			done, out, err := e.stepComposition(f, step, st)
 			if err != nil {
 				return nil, err
 			}
@@ -291,11 +390,12 @@ func (e *engine) stepMonotonicity(f *frame, step flow.Step) error {
 // stepDecomposition (Case 3): h(Y) → h(X) + h(Y|X) partitions the guard by
 // X-degree (Lemma 6.1) and spawns one subproblem per bucket; results are
 // unioned per target.
-func (e *engine) stepDecomposition(f *frame, step flow.Step) (map[bitset.Set]*relation.Relation, error) {
+func (e *engine) stepDecomposition(f *frame, step flow.Step, st *stepTimer) (map[bitset.Set]*relation.Relation, error) {
 	x, y := step.A, step.B
 	src := flow.Marginal(y)
 	ci, ok := f.support[src]
 	if !ok {
+		st.pause()
 		return nil, fmt.Errorf("core: decomposition step %v lacks support for %v", step, src)
 	}
 	g := f.cons[ci].guard
@@ -340,25 +440,32 @@ func (e *engine) stepDecomposition(f *frame, step flow.Step) (map[bitset.Set]*re
 			child.setSupport(flow.Marginal(x), len(child.cons)-2, child.cons)
 		}
 		child.setSupport(flow.Pair{X: x, Y: y}, len(child.cons)-1, child.cons)
+		// The child run accounts for its own steps; the timer only covers
+		// this step's partitioning and bucket bookkeeping.
+		st.pause()
 		res, err := e.run(child)
+		st.resume()
 		if err != nil {
+			st.pause()
 			return nil, err
 		}
 		mergeTables(out, res)
 	}
+	st.pause()
 	return out, nil
 }
 
 // stepComposition (Case 4): h(X) + h(Y|X) → h(Y). Within budget the join is
 // materialized (4a); over budget the inequality is truncated and the proof
 // sequence rebuilt (4b).
-func (e *engine) stepComposition(f *frame, step flow.Step) (bool, map[bitset.Set]*relation.Relation, error) {
+func (e *engine) stepComposition(f *frame, step flow.Step, st *stepTimer) (bool, map[bitset.Set]*relation.Relation, error) {
 	x, y := step.A, step.B
 	srcX := flow.Marginal(x)
 	srcYX := flow.Pair{X: x, Y: y}
 	cxi, okX := f.support[srcX]
 	cyi, okY := f.support[srcYX]
 	if !okX || !okY {
+		st.pause()
 		return false, nil, fmt.Errorf("core: composition step %v lacks supports (%v:%v, %v:%v)",
 			step, srcX, okX, srcYX, okY)
 	}
@@ -366,6 +473,7 @@ func (e *engine) stepComposition(f *frame, step flow.Step) (bool, map[bitset.Set
 	if e.opt.DisableBudget || cx.nFloat+cy.nFloat <= e.objFloat+budgetSlack {
 		// Case 4a: perform the join T(A_Y) := Π_X(R) ⋈ Π_W(S) with
 		// W = cy.y; the support invariant gives X ∪ W = Y.
+		defer st.pause()
 		r, s := cx.guard, cy.guard
 		t := e.note(r.Project(x).Join(s.Project(cy.y)))
 		e.stats.Joins++
@@ -385,32 +493,47 @@ func (e *engine) stepComposition(f *frame, step flow.Step) (bool, map[bitset.Set
 			t.Name, e.label(x), r.Name, e.label(cy.y), s.Name, t.Size())
 		return false, nil, nil
 	}
-	// Case 4b: the join would blow the budget; truncate and restart.
+	// Case 4b: the join would blow the budget; truncate and restart. The
+	// restart's own steps account for themselves, so the timer stops once
+	// the truncated child frame is built.
+	e.tracef("composition: skip join on %v (n=%.3f+%.3f > OBJ=%.3f); truncate at %v",
+		y, cx.nFloat, cy.nFloat, e.objFloat, e.label(y))
+	child, err := e.truncateAndRestart(f, step, y)
+	st.pause()
+	if err != nil {
+		return false, nil, err
+	}
+	out, err := e.run(child)
+	return true, out, err
+}
+
+// truncateAndRestart builds the Case-4b child frame: the inequality is
+// truncated at y (Lemma 5.11), a fresh proof sequence is constructed, and
+// the supports of the surviving δ coordinates are carried over.
+func (e *engine) truncateAndRestart(f *frame, step flow.Step, y bitset.Set) (*frame, error) {
 	e.stats.Restarts++
 	e.restarts++
 	if e.restarts > 10000 {
-		return false, nil, fmt.Errorf("core: too many Case-4b restarts")
+		return nil, fmt.Errorf("core: too many Case-4b restarts")
 	}
-	e.tracef("composition: skip join on %v (n=%.3f+%.3f > OBJ=%.3f); truncate at %v",
-		y, cx.nFloat, cy.nFloat, e.objFloat, e.label(y))
 	delta := f.delta.Clone()
 	if err := step.Apply(delta); err != nil {
-		return false, nil, err
+		return nil, err
 	}
 	wit, err := flow.FindWitness(e.n, f.lambda, delta)
 	if err != nil {
-		return false, nil, fmt.Errorf("core: case 4b witness: %w", err)
+		return nil, fmt.Errorf("core: case 4b witness: %w", err)
 	}
 	tr, err := flow.Truncate(f.lambda, delta, wit, y, step.W)
 	if err != nil {
-		return false, nil, fmt.Errorf("core: case 4b truncate: %w", err)
+		return nil, fmt.Errorf("core: case 4b truncate: %w", err)
 	}
 	if tr.Lambda.L1().Sign() <= 0 {
-		return false, nil, fmt.Errorf("core: truncation left no targets (‖λ'‖ = 0)")
+		return nil, fmt.Errorf("core: truncation left no targets (‖λ'‖ = 0)")
 	}
 	seq, err := flow.ConstructProof(tr.Lambda, tr.Delta, tr.Witness)
 	if err != nil {
-		return false, nil, fmt.Errorf("core: case 4b proof: %w", err)
+		return nil, fmt.Errorf("core: case 4b proof: %w", err)
 	}
 	// Rebuild supports for the surviving coordinates.
 	support := map[flow.Pair]int{}
@@ -421,12 +544,10 @@ func (e *engine) stepComposition(f *frame, step flow.Step) (bool, map[bitset.Set
 		if ci, ok := f.support[p]; ok {
 			support[p] = ci
 		} else {
-			return false, nil, fmt.Errorf("core: truncated δ%v lost its support", p)
+			return nil, fmt.Errorf("core: truncated δ%v lost its support", p)
 		}
 	}
-	child := &frame{cons: f.cons, support: support, lambda: tr.Lambda, delta: tr.Delta, seq: seq}
-	out, err := e.run(child)
-	return true, out, err
+	return &frame{cons: f.cons, support: support, lambda: tr.Lambda, delta: tr.Delta, seq: seq}, nil
 }
 
 func mergeTables(dst, src map[bitset.Set]*relation.Relation) {

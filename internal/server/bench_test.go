@@ -64,3 +64,66 @@ func BenchmarkServerQuery(b *testing.B) {
 		b.Fatalf("benchmark traffic missed the plan cache: %v", st)
 	}
 }
+
+// BenchmarkMetricsOverhead isolates the cost the observability layer adds
+// to one served query: the stage-timing clock reads plus the
+// observe/observeQuery bookkeeping (histogram buckets, shape-table LRU).
+// Engine-only measures the same query path through the facade with
+// timings off — the delta between the two sub-benchmarks is the
+// instrumentation tax, which must stay in the noise next to execution.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	q := panda.TriangleQuery()
+	src := `Q(A,B,C) :- R(A,B), S(B,C), T(A,C).`
+	setup := func(b *testing.B) *panda.DB {
+		b.Helper()
+		db := panda.Open()
+		b.Cleanup(func() { db.Close() })
+		ins := panda.RandomInstance(7, &q.Schema, 60, 12)
+		for i, a := range q.Schema.Atoms {
+			if err := db.CreateRelation(a.Name, a.Vars.Card()); err != nil && !errors.Is(err, panda.ErrRelationExists) {
+				b.Fatal(err)
+			}
+			if err := db.Insert(a.Name, ins.Relations[i].Rows()...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	b.Run("engine-only", func(b *testing.B) {
+		db := setup(b)
+		st, err := db.Prepare(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := st.Query(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := st.Query(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("instrumented", func(b *testing.B) {
+		db := setup(b)
+		srv := New(Config{DB: db})
+		st, err := db.Prepare(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run := func() {
+			res, err := st.Query(panda.WithStageTimings(true))
+			if err != nil {
+				b.Fatal(err)
+			}
+			srv.metrics.observeQuery(res.Signature, res.Mode.String(), res.Size(), 0, false)
+			srv.metrics.observe("query", http.StatusOK, 0)
+		}
+		run()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			run()
+		}
+	})
+}

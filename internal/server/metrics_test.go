@@ -1,0 +1,489 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"reflect"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"panda"
+)
+
+// labeledMetricValue extracts one labelled sample (exact label string
+// match) from a Prometheus exposition; -1 when the series is absent.
+func labeledMetricValue(t *testing.T, body, series string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(series) + ` (\S+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		return -1
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// stripLE removes the le pair from a label string so bucket series can be
+// keyed alongside their _sum/_count siblings: {endpoint="q",le="1"} →
+// {endpoint="q"}, {le="1"} → "".
+func stripLE(labels string) string {
+	labels = regexp.MustCompile(`,?le="[^"]*"`).ReplaceAllString(labels, "")
+	labels = strings.Replace(labels, "{,", "{", 1)
+	if labels == "{}" {
+		return ""
+	}
+	return labels
+}
+
+// shapeRequestsTotal sums panda_query_shape_requests_total across modes
+// for one digest.
+func shapeRequestsTotal(t *testing.T, body, digest string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^panda_query_shape_requests_total\{digest="` + regexp.QuoteMeta(digest) + `",mode="[^"]*"\} (\d+)$`)
+	var total float64
+	for _, m := range re.FindAllStringSubmatch(body, -1) {
+		v, _ := strconv.ParseFloat(m[1], 64)
+		total += v
+	}
+	return total
+}
+
+// scrape fetches /metrics and returns the exposition body.
+func scrape(t *testing.T, base string) string {
+	t.Helper()
+	code, body := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: %d", code)
+	}
+	return body
+}
+
+// TestMetricsExpositionConformance parses the whole /metrics body against
+// the text-format rules a Prometheus scraper enforces: HELP/TYPE exactly
+// once per family and before its samples, histogram buckets cumulative and
+// monotone with le="+Inf" equal to _count, and every sample line
+// well-formed. This is the regression net for the metric-type lie the
+// seed shipped (a "summary" with no quantiles) — now every duration
+// family must actually be a histogram.
+func TestMetricsExpositionConformance(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	q := panda.TriangleQuery()
+	loadOverHTTP(t, ts.URL, &q.Schema, panda.RandomInstance(3, &q.Schema, 30, 8))
+	for range 3 {
+		if code, raw := post(t, ts.URL+"/v1/query", fmt.Sprintf(`{"query":%q}`, triangleSrc)); code != http.StatusOK {
+			t.Fatalf("query: %d %s", code, raw)
+		}
+	}
+	body := scrape(t, ts.URL)
+
+	sample := regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$`)
+	leLabel := regexp.MustCompile(`le="([^"]*)"`)
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	type bucketState struct {
+		prevLE  float64
+		prevCum float64
+		infCum  float64
+		hasInf  bool
+	}
+	buckets := map[string]*bucketState{} // family+labels-without-le → state
+	counts := map[string]float64{}       // family+labels → _count value
+
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, _ := strings.Cut(rest, " ")
+			if helpSeen[name] {
+				t.Errorf("duplicate HELP for %s", name)
+			}
+			helpSeen[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, _ := strings.Cut(rest, " ")
+			if _, dup := typeSeen[name]; dup {
+				t.Errorf("duplicate TYPE for %s", name)
+			}
+			typeSeen[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := sample.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("malformed sample line: %q", line)
+			continue
+		}
+		name, labels, valStr := m[1], m[2], m[3]
+		family := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !helpSeen[family] || typeSeen[family] == "" {
+			t.Errorf("sample %s appears without preceding HELP+TYPE for family %s", name, family)
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Errorf("sample %s has non-numeric value %q", name, valStr)
+			continue
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if typeSeen[family] != "histogram" {
+				t.Errorf("%s_bucket under TYPE %q", family, typeSeen[family])
+			}
+			le := leLabel.FindStringSubmatch(labels)
+			if le == nil {
+				t.Errorf("bucket without le label: %q", line)
+				continue
+			}
+			key := family + stripLE(labels)
+			st, ok := buckets[key]
+			if !ok {
+				st = &bucketState{prevLE: math.Inf(-1)}
+				buckets[key] = st
+			}
+			if le[1] == "+Inf" {
+				st.infCum, st.hasInf = val, true
+			} else {
+				bound, err := strconv.ParseFloat(le[1], 64)
+				if err != nil {
+					t.Errorf("unparseable le %q in %q", le[1], line)
+					continue
+				}
+				if bound <= st.prevLE {
+					t.Errorf("%s: bucket bounds not increasing (%g after %g)", key, bound, st.prevLE)
+				}
+				st.prevLE = bound
+			}
+			if val < st.prevCum {
+				t.Errorf("%s: cumulative bucket counts decreased (%g after %g)", key, val, st.prevCum)
+			}
+			st.prevCum = val
+		case strings.HasSuffix(name, "_count") && typeSeen[family] == "histogram":
+			counts[family+labels] = val
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if typ := typeSeen["panda_http_request_duration_seconds"]; typ != "histogram" {
+		t.Errorf("panda_http_request_duration_seconds has TYPE %q, want histogram", typ)
+	}
+	if typ := typeSeen["panda_query_execution_seconds"]; typ != "histogram" {
+		t.Errorf("panda_query_execution_seconds has TYPE %q, want histogram", typ)
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets in exposition")
+	}
+	for key, st := range buckets {
+		if !st.hasInf {
+			t.Errorf("%s: no +Inf bucket", key)
+			continue
+		}
+		if cnt, ok := counts[key]; !ok || cnt != st.infCum {
+			t.Errorf("%s: le=\"+Inf\" (%g) != _count (%g)", key, st.infCum, cnt)
+		}
+	}
+}
+
+// TestShapeMetricsRenamingCollapse: two textually different queries that
+// are variable renamings of each other share one canonical signature, so
+// their traffic lands on one digest series — and a structurally distinct
+// query gets its own.
+func TestShapeMetricsRenamingCollapse(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	tri := panda.TriangleQuery()
+	loadOverHTTP(t, ts.URL, &tri.Schema, panda.RandomInstance(3, &tri.Schema, 30, 8))
+
+	renamed := `Q(X,Y,Z) :- R(X,Y), S(Y,Z), T(X,Z).`
+	var sigs [2]string
+	for i, src := range []string{triangleSrc, renamed} {
+		code, qr, raw := queryHTTP(t, ts.URL, fmt.Sprintf(`{"query":%q}`, src))
+		if code != http.StatusOK {
+			t.Fatalf("query %s: %d %s", src, code, raw)
+		}
+		if qr.Signature == "" {
+			t.Fatalf("query %s: no signature in response", src)
+		}
+		sigs[i] = qr.Signature
+	}
+	if sigs[0] != sigs[1] {
+		t.Fatalf("renamed query got different signature: %s vs %s", sigs[0], sigs[1])
+	}
+
+	// A structurally different shape (a 2-path) must not collapse onto it.
+	code, qr, raw := queryHTTP(t, ts.URL, `{"query":"P(A,B,C) :- R(A,B), S(B,C)."}`)
+	if code != http.StatusOK {
+		t.Fatalf("path query: %d %s", code, raw)
+	}
+	if qr.Signature == "" || qr.Signature == sigs[0] {
+		t.Fatalf("distinct shape shares signature %q", qr.Signature)
+	}
+
+	body := scrape(t, ts.URL)
+	if got := shapeRequestsTotal(t, body, sigs[0]); got != 2 {
+		t.Fatalf("requests for digest %s = %v, want 2 (renamings collapse onto one digest)", sigs[0], got)
+	}
+	if got := shapeRequestsTotal(t, body, qr.Signature); got != 1 {
+		t.Fatalf("requests for digest %s = %v, want 1", qr.Signature, got)
+	}
+}
+
+// TestShapeTableEviction drives more distinct shapes than the configured
+// top-K capacity and asserts the overflow rolls up into digest="other"
+// instead of growing the label space.
+func TestShapeTableEviction(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{ShapeTableSize: 2})
+	if code, raw := post(t, ts.URL+"/v1/relations", `{"name":"R","arity":2}`); code != http.StatusCreated {
+		t.Fatalf("create R: %d %s", code, raw)
+	}
+	if code, raw := post(t, ts.URL+"/v1/relations/R/rows", `{"rows":[[1,2],[2,3],[3,4]]}`); code != http.StatusOK {
+		t.Fatalf("insert: %d %s", code, raw)
+	}
+	// Four structurally distinct shapes over R; capacity 2 forces two
+	// evictions into "other".
+	shapes := []string{
+		`Q(A,B) :- R(A,B).`,
+		`Q(A,B,C) :- R(A,B), R(B,C).`,
+		`Q(A,B,C,D) :- R(A,B), R(B,C), R(C,D).`,
+		`Q(A) :- R(A,A).`,
+	}
+	for _, src := range shapes {
+		if code, raw := post(t, ts.URL+"/v1/query", fmt.Sprintf(`{"query":%q}`, src)); code != http.StatusOK {
+			t.Fatalf("query %s: %d %s", src, code, raw)
+		}
+	}
+	body := scrape(t, ts.URL)
+	if got := shapeRequestsTotal(t, body, "other"); got != 2 {
+		t.Fatalf(`digest="other" requests = %v, want 2`, got)
+	}
+	if got := metricValue(t, body, "panda_query_shape_evictions_total"); got != 2 {
+		t.Fatalf("evictions = %v, want 2", got)
+	}
+	if n := strings.Count(body, "panda_query_shape_rows_total{"); n != 3 {
+		t.Fatalf("shape rows series = %d, want 3 (2 live + other)", n)
+	}
+
+	// /v1/shapes reports the same bounded view.
+	code, raw := get(t, ts.URL+"/v1/shapes")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/shapes: %d %s", code, raw)
+	}
+	var view struct {
+		Shapes []struct {
+			Digest  string `json:"digest"`
+			Total   uint64 `json:"total"`
+			Latency struct {
+				Count uint64 `json:"count"`
+			} `json:"latency"`
+		} `json:"shapes"`
+		Other    *struct{ Total uint64 } `json:"other"`
+		Capacity int                     `json:"capacity"`
+		Evicted  uint64                  `json:"evicted"`
+	}
+	if err := json.Unmarshal([]byte(raw), &view); err != nil {
+		t.Fatalf("/v1/shapes body: %v\n%s", err, raw)
+	}
+	if len(view.Shapes) != 2 || view.Capacity != 2 || view.Evicted != 2 {
+		t.Fatalf("shapes=%d capacity=%d evicted=%d, want 2/2/2:\n%s", len(view.Shapes), view.Capacity, view.Evicted, raw)
+	}
+	if view.Other == nil || view.Other.Total != 2 {
+		t.Fatalf("other rollup missing or wrong: %+v", view.Other)
+	}
+	for _, sh := range view.Shapes {
+		if sh.Latency.Count != sh.Total {
+			t.Fatalf("shape %s: latency count %d != total %d", sh.Digest, sh.Latency.Count, sh.Total)
+		}
+	}
+}
+
+// TestMaxRowsTruncation: a max_rows cap yields exactly that many rows, a
+// "truncated":true marker, and one tick of the truncation counter; an
+// uncapped repeat of the same query stays unmarked.
+func TestMaxRowsTruncation(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	tri := panda.TriangleQuery()
+	loadOverHTTP(t, ts.URL, &tri.Schema, panda.RandomInstance(3, &tri.Schema, 30, 8))
+
+	code, full, raw := queryHTTP(t, ts.URL, fmt.Sprintf(`{"query":%q}`, triangleSrc))
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, raw)
+	}
+	if full.Truncated {
+		t.Fatal("uncapped query reports truncated")
+	}
+	if len(full.Rows) < 2 {
+		t.Fatalf("fixture too small to truncate: %d rows", len(full.Rows))
+	}
+
+	code, capped, raw := queryHTTP(t, ts.URL, fmt.Sprintf(`{"query":%q,"max_rows":1}`, triangleSrc))
+	if code != http.StatusOK {
+		t.Fatalf("capped query: %d %s", code, raw)
+	}
+	if !capped.Truncated || len(capped.Rows) != 1 {
+		t.Fatalf("capped query: truncated=%v rows=%d, want true/1\n%s", capped.Truncated, len(capped.Rows), raw)
+	}
+	if !reflect.DeepEqual(capped.Rows[0], full.Rows[0]) {
+		t.Fatalf("capped rows are not a prefix: %v vs %v", capped.Rows[0], full.Rows[0])
+	}
+
+	body := scrape(t, ts.URL)
+	if got := metricValue(t, body, "panda_query_rows_truncated_total"); got != 1 {
+		t.Fatalf("panda_query_rows_truncated_total = %v, want 1", got)
+	}
+	sig := full.Signature
+	if got := labeledMetricValue(t, body, fmt.Sprintf(`panda_query_shape_rows_total{digest=%q}`, sig)); got != float64(len(full.Rows)+1) {
+		t.Fatalf("shape rows = %v, want %d (full run + 1 truncated row)", got, len(full.Rows)+1)
+	}
+
+	if code, raw := post(t, ts.URL+"/v1/query", fmt.Sprintf(`{"query":%q,"max_rows":-1}`, triangleSrc)); code != http.StatusBadRequest {
+		t.Fatalf("negative max_rows: %d %s, want 400", code, raw)
+	}
+}
+
+// TestSlowQueryLog: with a zero-distance threshold every query logs one
+// structured line carrying the digest, mode, rows and stage timings.
+func TestSlowQueryLog(t *testing.T) {
+	var buf bytes.Buffer
+	_, ts, _ := newTestServer(t, Config{SlowQueryThreshold: 1, SlowQueryLog: &buf})
+	tri := panda.TriangleQuery()
+	loadOverHTTP(t, ts.URL, &tri.Schema, panda.RandomInstance(3, &tri.Schema, 30, 8))
+
+	code, qr, raw := queryHTTP(t, ts.URL, fmt.Sprintf(`{"query":%q}`, triangleSrc))
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, raw)
+	}
+	line := strings.TrimSpace(buf.String())
+	if line == "" {
+		t.Fatal("no slow-query line emitted")
+	}
+	var rec slowQueryLine
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("slow-query line is not JSON: %v\n%s", err, line)
+	}
+	if !rec.SlowQuery || rec.Digest != qr.Signature || rec.Mode != qr.Mode {
+		t.Fatalf("slow-query line mismatch: %+v vs response sig=%s mode=%s", rec, qr.Signature, qr.Mode)
+	}
+	if rec.Rows != len(qr.Rows) || rec.ElapsedSeconds <= 0 {
+		t.Fatalf("slow-query line rows/elapsed: %+v", rec)
+	}
+	if len(rec.Timings) == 0 {
+		t.Fatalf("slow-query line has no stage timings: %s", line)
+	}
+}
+
+// TestQueryTimingsInResponse: every /v1/query response carries the
+// wall-clock stage-timing map, and the engine stages show up for a query
+// that actually runs proof steps.
+func TestQueryTimingsInResponse(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	q := panda.BooleanFourCycle()
+	loadOverHTTP(t, ts.URL, &q.Schema, panda.CycleWorstCase(q, 16))
+	code, qr, raw := queryHTTP(t, ts.URL, fmt.Sprintf(`{"query":%q}`, booleanFourCycleSrc))
+	if code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, raw)
+	}
+	if qr.Timings == nil {
+		t.Fatalf("no timings in response: %s", raw)
+	}
+	for _, key := range []string{"prepare_wait", "rule_fanout", "merge"} {
+		if _, ok := qr.Timings[key]; !ok {
+			t.Errorf("timings missing %q: %v", key, qr.Timings)
+		}
+	}
+	var steps int
+	for k := range qr.Timings {
+		if strings.HasPrefix(k, "step_") {
+			steps++
+		}
+	}
+	if steps == 0 {
+		t.Errorf("no per-step timings for a PANDA-mode query: %v", qr.Timings)
+	}
+}
+
+// TestPprofGate: the profile endpoints exist only when Config.Pprof is on.
+func TestPprofGate(t *testing.T) {
+	_, off, _ := newTestServer(t, Config{})
+	if code, _ := get(t, off.URL+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("pprof off: /debug/pprof/ = %d, want 404", code)
+	}
+	_, on, _ := newTestServer(t, Config{Pprof: true})
+	if code, body := get(t, on.URL+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof on: /debug/pprof/ = %d", code)
+	}
+}
+
+// TestConcurrentScrapeAndQuery hammers /metrics and /v1/shapes while query
+// traffic over several shapes is in flight — under -race this is the proof
+// that the snapshot-then-render scrape path and the shape table are sound,
+// and afterwards the histogram count must equal the queries served.
+func TestConcurrentScrapeAndQuery(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{ShapeTableSize: 2})
+	tri := panda.TriangleQuery()
+	loadOverHTTP(t, ts.URL, &tri.Schema, panda.RandomInstance(3, &tri.Schema, 30, 8))
+
+	queries := []string{
+		triangleSrc,
+		`Q(X,Y,Z) :- R(X,Y), S(Y,Z), T(X,Z).`,
+		`P(A,B,C) :- R(A,B), S(B,C).`,
+		`P2(A,B) :- R(A,B), T(A,B).`,
+	}
+	const workers, perWorker = 4, 8
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := range perWorker {
+				src := queries[(w+i)%len(queries)]
+				if code, raw := post(t, ts.URL+"/v1/query", fmt.Sprintf(`{"query":%q}`, src)); code != http.StatusOK {
+					t.Errorf("query %s: %d %s", src, code, raw)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for range perWorker {
+				scrape(t, ts.URL)
+				if code, _ := get(t, ts.URL+"/v1/shapes"); code != http.StatusOK {
+					t.Errorf("/v1/shapes: %d", code)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	body := scrape(t, ts.URL)
+	want := float64(workers * perWorker)
+	if got := metricValue(t, body, "panda_query_execution_seconds_count"); got != want {
+		t.Fatalf("execution histogram count = %v, want %v", got, want)
+	}
+	var shapeTotal float64
+	re := regexp.MustCompile(`(?m)^panda_query_shape_requests_total\{[^}]*\} (\d+)$`)
+	for _, m := range re.FindAllStringSubmatch(body, -1) {
+		v, _ := strconv.ParseFloat(m[1], 64)
+		shapeTotal += v
+	}
+	if shapeTotal != want {
+		t.Fatalf("sum of shape requests = %v, want %v (no observation lost to eviction)", shapeTotal, want)
+	}
+}

@@ -17,7 +17,9 @@
 //	DELETE /v1/relations/{name}      drop a relation
 //	POST   /v1/relations/{name}/rows insert tuples {"rows":[[…],…]}
 //	POST   /v1/relations/{name}/csv  bulk-ingest a CSV body
-//	GET    /metrics                  Prometheus text: planner, stmt cache, per-endpoint latency
+//	GET    /metrics                  Prometheus text: planner, stmt cache, latency histograms, per-shape series
+//	GET    /v1/shapes                JSON view of the per-shape table: requests, rows, latency quantiles
+//	GET    /debug/pprof/…            net/http/pprof, only when Config.Pprof is set
 //
 // The plan-shipping pair is the horizontal-serving seam: one planning tier
 // pays the LP solves, exports its cache with GET /v1/plans, and a fleet of
@@ -38,6 +40,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"sort"
 	"strings"
 	"sync"
@@ -61,6 +65,21 @@ type Config struct {
 	// StmtCacheSize bounds the prepared-statement cache (0 selects
 	// DefaultStmtCacheSize).
 	StmtCacheSize int
+	// ShapeTableSize bounds the per-shape telemetry table: at most this
+	// many live signature digests get their own /metrics series and
+	// /v1/shapes entry; the least-recently-observed tail rolls up into the
+	// "other" bucket. 0 selects the default (64).
+	ShapeTableSize int
+	// SlowQueryThreshold, when positive, turns on the slow-query log:
+	// every successful /v1/query whose end-to-end execution takes at least
+	// this long emits one structured JSON line to SlowQueryLog.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines (defaults to os.Stderr when a
+	// threshold is set). Writes are serialized by the server.
+	SlowQueryLog io.Writer
+	// Pprof mounts net/http/pprof under /debug/pprof/ when set. Off by
+	// default: the profile endpoints expose internals and can be costly.
+	Pprof bool
 }
 
 // Server is the HTTP handler. Create one with New; it is safe for
@@ -72,6 +91,10 @@ type Server struct {
 	stmts       *stmtCache
 	metrics     *metrics
 	mux         *http.ServeMux
+
+	slowThreshold time.Duration
+	slowMu        sync.Mutex
+	slowLog       io.Writer
 
 	mu       sync.Mutex
 	draining bool
@@ -86,12 +109,17 @@ type Server struct {
 // New wires the routes around cfg.DB.
 func New(cfg Config) *Server {
 	s := &Server{
-		db:          cfg.DB,
-		timeout:     cfg.Timeout,
-		parallelism: cfg.Parallelism,
-		stmts:       newStmtCache(cfg.StmtCacheSize),
-		metrics:     newMetrics(),
-		mux:         http.NewServeMux(),
+		db:            cfg.DB,
+		timeout:       cfg.Timeout,
+		parallelism:   cfg.Parallelism,
+		stmts:         newStmtCache(cfg.StmtCacheSize),
+		metrics:       newMetrics(cfg.ShapeTableSize),
+		mux:           http.NewServeMux(),
+		slowThreshold: cfg.SlowQueryThreshold,
+		slowLog:       cfg.SlowQueryLog,
+	}
+	if s.slowThreshold > 0 && s.slowLog == nil {
+		s.slowLog = os.Stderr
 	}
 	s.mux.HandleFunc("POST /v1/query", s.wrap("query", s.handleQuery))
 	s.mux.HandleFunc("GET /v1/plan", s.wrap("plan", s.handlePlan))
@@ -103,6 +131,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/relations/{name}/rows", s.wrap("rows", s.handleInsertRows))
 	s.mux.HandleFunc("POST /v1/relations/{name}/csv", s.wrap("csv", s.handleLoadCSV))
 	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /v1/shapes", s.wrap("shapes", s.handleShapes))
+	if cfg.Pprof {
+		// Debug endpoints stay outside the metrics/drain middleware: they
+		// are operator tools, not traffic.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -285,6 +323,10 @@ type queryRequest struct {
 	Mode string `json:"mode,omitempty"`
 	// Parallelism overrides the server's per-query executor fan-out.
 	Parallelism int `json:"parallelism,omitempty"`
+	// MaxRows, when positive, caps every streamed row array in the
+	// response (the result rows, and each rule target's rows). A capped
+	// response carries "truncated":true.
+	MaxRows int `json:"max_rows,omitempty"`
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -297,6 +339,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, errors.New("missing query text"))
 		return
 	}
+	if req.MaxRows < 0 {
+		s.fail(w, errors.New("max_rows must be non-negative"))
+		return
+	}
 	mode, explicit, err := parseMode(req.Mode)
 	if err != nil {
 		s.fail(w, err)
@@ -307,7 +353,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	var opts []panda.Option
+	opts := []panda.Option{panda.WithStageTimings(true)}
 	if explicit {
 		opts = append(opts, panda.WithMode(mode))
 	}
@@ -319,19 +365,73 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.queryStarted != nil {
 		s.queryStarted()
 	}
+	start := time.Now()
 	res, err := st.QueryContext(r.Context(), opts...)
+	elapsed := time.Since(start)
 	if err != nil {
 		s.fail(w, err)
 		return
 	}
-	s.writeResult(w, st, res)
+	rows, truncated := s.writeResult(w, st, res, req.MaxRows)
+	digest := res.Signature
+	if digest == "" {
+		// Disjunctive rules are planned per rule, not cached by signature;
+		// they share one shape bucket.
+		digest = "rule"
+	}
+	s.metrics.observeQuery(digest, res.Mode.String(), rows, elapsed, truncated)
+	if s.slowThreshold > 0 && elapsed >= s.slowThreshold {
+		s.logSlowQuery(digest, res, rows, elapsed)
+	}
+}
+
+// slowQueryLine is the JSON shape of one slow-query log record.
+type slowQueryLine struct {
+	SlowQuery      bool               `json:"slow_query"`
+	Time           string             `json:"time"`
+	Digest         string             `json:"digest"`
+	Mode           string             `json:"mode"`
+	Width          string             `json:"width,omitempty"`
+	Rows           int                `json:"rows"`
+	ElapsedSeconds float64            `json:"elapsed_seconds"`
+	Timings        map[string]float64 `json:"timings,omitempty"`
+}
+
+// logSlowQuery emits one structured line for a query whose execution met
+// the configured threshold. Lines are whole-record writes under a
+// dedicated mutex, so concurrent slow queries never interleave bytes.
+func (s *Server) logSlowQuery(digest string, res *panda.Result, rows int, elapsed time.Duration) {
+	line := slowQueryLine{
+		SlowQuery:      true,
+		Time:           time.Now().UTC().Format(time.RFC3339Nano),
+		Digest:         digest,
+		Mode:           res.Mode.String(),
+		Rows:           rows,
+		ElapsedSeconds: elapsed.Seconds(),
+	}
+	if res.Width != nil {
+		line.Width = res.Width.RatString()
+	}
+	if res.Timings != nil {
+		line.Timings = res.Timings.Seconds()
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.slowMu.Lock()
+	s.slowLog.Write(b)
+	s.slowMu.Unlock()
 }
 
 // writeResult streams the unified Result as one JSON object. The scalar
 // header lands first and rows are written tuple by tuple (flushed
 // periodically), so a client can start consuming a large result while the
-// tail is still being encoded.
-func (s *Server) writeResult(w http.ResponseWriter, st *panda.Stmt, res *panda.Result) {
+// tail is still being encoded. maxRows > 0 caps every streamed row array;
+// a capped response carries "truncated":true. It reports the total rows
+// streamed and whether anything was cut, for the per-shape telemetry.
+func (s *Server) writeResult(w http.ResponseWriter, st *panda.Stmt, res *panda.Result, maxRows int) (rows int, truncated bool) {
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintf(w, `{"mode":%q,"ok":%t`, res.Mode.String(), res.OK)
 	if res.Width != nil {
@@ -343,7 +443,9 @@ func (s *Server) writeResult(w http.ResponseWriter, st *panda.Stmt, res *panda.R
 	if res.Rel != nil {
 		cols, _ := json.Marshal(res.Columns)
 		fmt.Fprintf(w, `,"columns":%s,"rows":`, cols)
-		streamRows(w, flush, res.Rows())
+		n, cut := streamRows(w, flush, res.Rows(), maxRows)
+		rows += n
+		truncated = truncated || cut
 	}
 	if res.Mode == panda.ModeRule {
 		targets := make([]panda.Set, 0, len(res.Tables))
@@ -358,10 +460,15 @@ func (s *Server) writeResult(w http.ResponseWriter, st *panda.Stmt, res *panda.R
 				io.WriteString(w, ",")
 			}
 			fmt.Fprintf(w, `{"target":%q,"size":%d,"rows":`, "T_"+sch.VarLabel(b), res.Tables[b].Size())
-			streamRows(w, flush, res.Tables[b].SortedRows())
+			n, cut := streamRows(w, flush, res.Tables[b].SortedRows(), maxRows)
+			rows += n
+			truncated = truncated || cut
 			io.WriteString(w, "}")
 		}
 		io.WriteString(w, "]")
+	}
+	if truncated {
+		io.WriteString(w, `,"truncated":true`)
 	}
 	if res.Stats != nil {
 		stats, err := json.Marshal(res.Stats)
@@ -369,24 +476,44 @@ func (s *Server) writeResult(w http.ResponseWriter, st *panda.Stmt, res *panda.R
 			fmt.Fprintf(w, `,"stats":%s`, stats)
 		}
 	}
+	// Shape identity and wall-clock stage timings land after stats: the
+	// deterministic prefix of the body (everything through stats) stays
+	// byte-stable across runs, while the timings tail is allowed to vary.
+	if res.Signature != "" {
+		fmt.Fprintf(w, `,"signature":%q`, res.Signature)
+	}
+	if res.Timings != nil {
+		if t, err := json.Marshal(res.Timings.Seconds()); err == nil {
+			fmt.Fprintf(w, `,"timings":%s`, t)
+		}
+	}
 	io.WriteString(w, "}\n")
+	return rows, truncated
 }
 
 // streamRows writes a JSON array of tuples, flushing every few thousand
-// rows so large results reach the client incrementally.
-func streamRows(w io.Writer, flush *http.ResponseController, rows [][]panda.Value) {
+// rows so large results reach the client incrementally. max > 0 stops
+// after max rows; the second return reports whether rows were dropped.
+func streamRows(w io.Writer, flush *http.ResponseController, rows [][]panda.Value, max int) (int, bool) {
 	io.WriteString(w, "[")
+	written := 0
 	for i, row := range rows {
+		if max > 0 && written >= max {
+			io.WriteString(w, "]")
+			return written, true
+		}
 		if i > 0 {
 			io.WriteString(w, ",")
 		}
 		b, _ := json.Marshal(row)
 		w.Write(b)
+		written++
 		if flush != nil && i%4096 == 4095 {
 			flush.Flush()
 		}
 	}
 	io.WriteString(w, "]")
+	return written, false
 }
 
 // ---- /v1/plan ----
@@ -420,10 +547,60 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		"mode":  info.Mode.String(),
 		"width": info.Width.RatString(),
 	}
-	if info.Key != "" {
-		resp["signature"] = fmt.Sprintf("%x", fnv32(info.Key))
+	if info.Digest != "" {
+		resp["signature"] = info.Digest
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /v1/shapes ----
+
+// handleShapes reports the per-shape telemetry table as JSON: one entry per
+// live signature digest (most-recently-observed first), the "other" rollup
+// when shapes have been evicted, and the table's capacity so operators can
+// tell how close they run to the cardinality bound.
+func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
+	shapes, other, evicted := s.metrics.snapshotShapes()
+	type latency struct {
+		Count      uint64  `json:"count"`
+		SumSeconds float64 `json:"sum_seconds"`
+		P50Seconds float64 `json:"p50_seconds"`
+		P99Seconds float64 `json:"p99_seconds"`
+	}
+	type shape struct {
+		Digest   string            `json:"digest"`
+		Requests map[string]uint64 `json:"requests"`
+		Total    uint64            `json:"total"`
+		Rows     uint64            `json:"rows"`
+		Latency  latency           `json:"latency"`
+	}
+	conv := func(st *shapeStat) shape {
+		return shape{
+			Digest:   st.digest,
+			Requests: st.requests,
+			Total:    st.total(),
+			Rows:     st.rows,
+			Latency: latency{
+				Count:      st.exec.count,
+				SumSeconds: st.exec.sum,
+				P50Seconds: st.exec.quantile(0.50),
+				P99Seconds: st.exec.quantile(0.99),
+			},
+		}
+	}
+	out := make([]shape, len(shapes))
+	for i, st := range shapes {
+		out[i] = conv(st)
+	}
+	body := map[string]any{
+		"shapes":   out,
+		"capacity": s.metrics.shapeCapacity(),
+		"evicted":  evicted,
+	}
+	if other != nil {
+		body["other"] = conv(other)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // ---- /v1/plans (plan shipping) ----
@@ -463,18 +640,6 @@ func (s *Server) handleImportPlans(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, body)
-}
-
-// fnv32 digests a canonical signature key for display (the raw key is an
-// opaque binary encoding).
-func fnv32(s string) uint32 {
-	const offset, prime = 2166136261, 16777619
-	h := uint32(offset)
-	for i := 0; i < len(s); i++ {
-		h ^= uint32(s[i])
-		h *= prime
-	}
-	return h
 }
 
 // ---- Catalog endpoints ----

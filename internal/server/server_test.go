@@ -91,7 +91,10 @@ type queryResponseJSON struct {
 		Size   int             `json:"size"`
 		Rows   [][]panda.Value `json:"rows"`
 	} `json:"tables"`
-	Stats map[string]any `json:"stats"`
+	Stats     map[string]any     `json:"stats"`
+	Truncated bool               `json:"truncated"`
+	Signature string             `json:"signature"`
+	Timings   map[string]float64 `json:"timings"`
 }
 
 // loadOverHTTP pushes a workload instance into the server through the
@@ -279,6 +282,19 @@ func TestServerGoldenBytes(t *testing.T) {
 			t.Errorf("body for %s:\n got %.200s\nwant prefix %s", tc.src, raw, tc.prefix)
 		}
 	}
+}
+
+// stripTimings removes the wall-clock "timings" object from a /v1/query
+// body so deterministic-parity assertions can compare the rest
+// byte-for-byte. It insists the field was present: losing it silently
+// would hollow out the tests that use this.
+func stripTimings(t *testing.T, body string) string {
+	t.Helper()
+	i := strings.LastIndex(body, `,"timings":{`)
+	if i < 0 {
+		t.Fatalf("body has no timings object: %s", body)
+	}
+	return body[:i] + "}\n"
 }
 
 // metricValue extracts one un-labelled sample from a Prometheus exposition.
@@ -596,6 +612,9 @@ func TestServerParallelismParity(t *testing.T) {
 	loadOverHTTP(t, ts.URL, &q.Schema, panda.CycleWorstCase(q, 16))
 	_, seq := post(t, ts.URL+"/v1/query", fmt.Sprintf(`{"query":%q}`, booleanFourCycleSrc))
 	_, par := post(t, ts.URL+"/v1/query", fmt.Sprintf(`{"query":%q,"parallelism":4}`, booleanFourCycleSrc))
+	// Everything through "signature" is deterministic; the trailing
+	// "timings" object is wall-clock and legitimately varies run to run.
+	seq, par = stripTimings(t, seq), stripTimings(t, par)
 	if seq != par {
 		t.Fatalf("parallel body diverges:\n%s\nvs\n%s", seq, par)
 	}

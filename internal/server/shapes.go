@@ -1,0 +1,181 @@
+package server
+
+import (
+	"container/list"
+	"sort"
+)
+
+// Shape-level telemetry: every successful query is attributed to its plan
+// signature digest (the renaming-invariant shape identity the planner caches
+// by), so /metrics and /v1/shapes can answer "which query shapes dominate
+// traffic and how does latency distribute per shape". Cardinality is bounded
+// by a top-K LRU table on the digest; evicted shapes roll up into a single
+// "other" bucket, so an adversarial stream of novel shapes can never explode
+// the label space of the exposition.
+
+// bucketBounds are the fixed exponential upper bounds (seconds) shared by
+// every latency histogram in the exposition; the implicit +Inf bucket is
+// counts[len(bucketBounds)].
+var bucketBounds = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram. It is not goroutine-safe;
+// the owning metrics struct serializes access.
+type histogram struct {
+	counts [len(bucketBounds) + 1]uint64 // per-bucket (non-cumulative); last is +Inf
+	count  uint64
+	sum    float64
+}
+
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(bucketBounds[:], seconds)
+	h.counts[i]++
+	h.count++
+	h.sum += seconds
+}
+
+// merge folds src into h (used when an evicted shape rolls into "other").
+func (h *histogram) merge(src *histogram) {
+	for i, c := range src.counts {
+		h.counts[i] += c
+	}
+	h.count += src.count
+	h.sum += src.sum
+}
+
+func (h *histogram) clone() *histogram {
+	c := *h
+	return &c
+}
+
+// quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// inside the bucket holding the target rank; the +Inf bucket reports the
+// largest finite bound. Zero observations report 0.
+func (h *histogram) quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if float64(cum) >= rank && c > 0 {
+			if i >= len(bucketBounds) {
+				return bucketBounds[len(bucketBounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bucketBounds[i-1]
+			}
+			frac := (rank - float64(cum-c)) / float64(c)
+			return lo + frac*(bucketBounds[i]-lo)
+		}
+	}
+	return bucketBounds[len(bucketBounds)-1]
+}
+
+// otherShapeLabel is the digest label the evicted tail rolls up into.
+const otherShapeLabel = "other"
+
+// shapeStat accumulates one shape's telemetry.
+type shapeStat struct {
+	digest   string
+	requests map[string]uint64 // committed mode → count
+	rows     uint64
+	exec     histogram
+}
+
+func newShapeStat(digest string) *shapeStat {
+	return &shapeStat{digest: digest, requests: map[string]uint64{}}
+}
+
+func (s *shapeStat) total() uint64 {
+	var n uint64
+	for _, c := range s.requests {
+		n += c
+	}
+	return n
+}
+
+func (s *shapeStat) clone() *shapeStat {
+	c := newShapeStat(s.digest)
+	for m, n := range s.requests {
+		c.requests[m] = n
+	}
+	c.rows = s.rows
+	c.exec = s.exec
+	return c
+}
+
+// shapeTable is the bounded top-K shape table: an LRU keyed by signature
+// digest whose evictions fold into the "other" rollup instead of being
+// lost. Not goroutine-safe; the owning metrics struct serializes access.
+type shapeTable struct {
+	cap      int
+	ll       *list.List               // front = most recently observed
+	idx      map[string]*list.Element // digest → element holding *shapeStat
+	other    *shapeStat               // rollup of every evicted shape
+	evicted  uint64                   // digests evicted into other, total
+	overflow bool                     // other has absorbed at least one shape
+}
+
+// defaultShapeTableSize bounds the per-shape label cardinality when the
+// Config does not say otherwise.
+const defaultShapeTableSize = 64
+
+func newShapeTable(capacity int) *shapeTable {
+	if capacity <= 0 {
+		capacity = defaultShapeTableSize
+	}
+	return &shapeTable{
+		cap:   capacity,
+		ll:    list.New(),
+		idx:   map[string]*list.Element{},
+		other: newShapeStat(otherShapeLabel),
+	}
+}
+
+// observe attributes one served query to its shape, evicting the
+// least-recently-observed shape into "other" when the table is full.
+func (t *shapeTable) observe(digest, mode string, rows uint64, seconds float64) {
+	el, ok := t.idx[digest]
+	if !ok {
+		if t.ll.Len() >= t.cap {
+			lru := t.ll.Back()
+			ev := lru.Value.(*shapeStat)
+			for m, n := range ev.requests {
+				t.other.requests[m] += n
+			}
+			t.other.rows += ev.rows
+			t.other.exec.merge(&ev.exec)
+			t.ll.Remove(lru)
+			delete(t.idx, ev.digest)
+			t.evicted++
+			t.overflow = true
+		}
+		el = t.ll.PushFront(newShapeStat(digest))
+		t.idx[digest] = el
+	} else {
+		t.ll.MoveToFront(el)
+	}
+	s := el.Value.(*shapeStat)
+	s.requests[mode]++
+	s.rows += rows
+	s.exec.observe(seconds)
+}
+
+// snapshot deep-copies the table in most-recently-observed order plus the
+// "other" rollup (nil when nothing has been evicted), so rendering can
+// happen outside the metrics lock.
+func (t *shapeTable) snapshot() (shapes []*shapeStat, other *shapeStat, evicted uint64) {
+	shapes = make([]*shapeStat, 0, t.ll.Len())
+	for el := t.ll.Front(); el != nil; el = el.Next() {
+		shapes = append(shapes, el.Value.(*shapeStat).clone())
+	}
+	if t.overflow {
+		other = t.other.clone()
+	}
+	return shapes, other, t.evicted
+}

@@ -1,9 +1,12 @@
 package panda
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/big"
 
+	"panda/internal/core"
 	"panda/internal/plan"
 )
 
@@ -43,6 +46,35 @@ type Result struct {
 	Bound *big.Rat
 	// Stats accumulates the engine work across all executed rules.
 	Stats *Stats
+	// Signature is the short hex digest of the plan's canonical,
+	// renaming-invariant signature — the query's *shape* identity: two
+	// queries that differ only by variable renaming share one signature,
+	// and per-shape telemetry (pandad's shape table, slow-query log) keys
+	// on it. Empty for disjunctive rules, which are planned per rule
+	// rather than cached by signature.
+	Signature string
+	// Timings attributes wall-clock time to the stages of this execution
+	// (prepare-wait, per-proof-step-kind engine time, rule fan-out,
+	// merge); nil unless WithStageTimings was set. Unlike Stats, timings
+	// vary run to run and are excluded from the deterministic-merge
+	// guarantee.
+	Timings *Timings
+}
+
+// Timings attributes wall-clock time to the stages of one execution; see
+// WithStageTimings.
+type Timings = core.Timings
+
+// SignatureDigest condenses a canonical plan-signature key (PlanInfo.Key,
+// plan cache keys) into the short hex digest used everywhere a shape is
+// named: Result.Signature, the /v1/shapes table, slow-query log lines. An
+// empty key (disjunctive rules) digests to "".
+func SignatureDigest(key string) string {
+	if key == "" {
+		return ""
+	}
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:6])
 }
 
 // Rows returns the output tuples in deterministic sorted order; nil when

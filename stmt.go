@@ -157,6 +157,10 @@ type PlanInfo struct {
 	// Key is the canonical plan-cache signature; empty for disjunctive
 	// rules, which are planned per rule rather than cached by signature.
 	Key string
+	// Digest is SignatureDigest(Key): the short hex shape identity that
+	// Result.Signature and the server's per-shape telemetry key on; empty
+	// for disjunctive rules.
+	Digest string
 }
 
 // ExplainContext runs only the planning phase of the statement against the
@@ -188,7 +192,7 @@ func (st *Stmt) ExplainContext(ctx context.Context, opts ...Option) (*PlanInfo, 
 		if err != nil {
 			return nil, err
 		}
-		return &PlanInfo{Mode: p.Mode, Width: p.Width, Key: p.Key}, nil
+		return &PlanInfo{Mode: p.Mode, Width: p.Width, Key: p.Key, Digest: SignatureDigest(p.Key)}, nil
 	}
 	r := st.res.Rule
 	pr, _, err := plan.PrepareRuleContext(ctx, &r.Schema, core.CompleteConstraints(&r.Schema, ins, st.res.Constraints), r.Targets)
