@@ -69,6 +69,7 @@ func main() {
 	shapeCap := flag.Int("shape-cap", 0, "per-shape telemetry table capacity (0 = default)")
 	slowQuery := flag.Duration("slow-query-threshold", 0, "log queries at least this slow as JSON lines on stderr (0 = off)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	name := flag.String("name", "", "replica identity reported by /v1/info (useful behind pandarouter)")
 	flag.Parse()
 	if *jobs == 0 {
 		*jobs = runtime.NumCPU()
@@ -86,7 +87,23 @@ func main() {
 		case err != nil:
 			log.Printf("plan warm-load from %s failed (serving cold): %v", *planDir, err)
 		case stats.Skipped > 0:
-			log.Printf("plan warm-load from %s: %v — skipped entries will be re-planned", *planDir, stats)
+			log.Printf("plan warm-load from %s: %v — re-planning %d skipped signatures in the background", *planDir, stats, len(stats.SkippedKeys))
+			// The cross-version migration shim: a snapshot written by an
+			// older (or newer) binary names the signatures it had to drop,
+			// and each key fully encodes its canonical query — so rebuild
+			// them off the serving path instead of re-paying their LP
+			// solves one traffic-time cache miss at a time. The key list
+			// is bounded by the load-stats cap.
+			if len(stats.SkippedKeys) > 0 {
+				go func(keys []string) {
+					n, solves, err := db.ReplanSignatures(context.Background(), keys)
+					if err != nil {
+						log.Printf("background replan: %d/%d signatures rebuilt (%d LP solves), aborted: %v", n, len(keys), solves, err)
+						return
+					}
+					log.Printf("background replan: %d signatures rebuilt (%d LP solves)", n, solves)
+				}(stats.SkippedKeys)
+			}
 		default:
 			log.Printf("plan cache primed with %d plans from %s", stats.Loaded, *planDir)
 		}
@@ -112,6 +129,7 @@ func main() {
 		SlowQueryThreshold: *slowQuery,
 		SlowQueryLog:       os.Stderr,
 		Pprof:              *pprofOn,
+		Name:               *name,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv}
 

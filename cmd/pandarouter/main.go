@@ -1,0 +1,93 @@
+// Command pandarouter fronts a fleet of pandad replicas with shape-affine
+// routing and fleet-wide plan shipping. It speaks the pandad wire protocol,
+// so clients point at the router exactly as they would at one pandad:
+//
+//	pandarouter -addr :8080 \
+//	    -planner  http://planner:8080 \
+//	    -replicas http://replica-a:8080,http://replica-b:8080
+//
+// Every /v1/query and /v1/plan is routed by the query's canonical shape
+// (the renaming-invariant plan signature, computed on the router without
+// catalog access or LP work) via rendezvous hashing, so each query shape
+// consistently lands on one replica and the fleet's plan/stmt caches stay
+// hot and disjoint. New shapes are planned once on the designated planning
+// tier and the fresh plans are shipped to every replica (delta pulls over
+// GET /v1/plans?since=, imports over PUT /v1/plans) before the query is
+// forwarded — replicas serve with zero LP solves. Replicas are probed on
+// /healthz; a failed or draining replica is failed over with one bounded
+// retry per downed candidate, and its query shapes move wholesale to their
+// next-ranked replica (rendezvous hashing moves nothing else).
+//
+// Catalog mutations are broadcast to the planning tier and all replicas.
+// GET /metrics exposes per-replica and per-shape routing counters;
+// GET /v1/info reports replica health and push watermarks.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"panda/internal/router"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pandarouter: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs (required)")
+	planner := flag.String("planner", "", "planning-tier base URL (required)")
+	pushEvery := flag.Duration("push-every", 2*time.Second, "background plan delta push period")
+	probeEvery := flag.Duration("probe-every", 500*time.Millisecond, "replica health probe period")
+	proxyTimeout := flag.Duration("proxy-timeout", 30*time.Second, "per-attempt proxy deadline")
+	drain := flag.Duration("drain", 15*time.Second, "how long shutdown waits for in-flight requests")
+	flag.Parse()
+
+	var names []string
+	for _, r := range strings.Split(*replicas, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			names = append(names, strings.TrimRight(r, "/"))
+		}
+	}
+	rt, err := router.New(router.Config{
+		Replicas:     names,
+		Planner:      strings.TrimRight(*planner, "/"),
+		PushEvery:    *pushEvery,
+		ProbeEvery:   *probeEvery,
+		ProxyTimeout: *proxyTimeout,
+		Logf:         log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rt.Close()
+
+	hs := &http.Server{Addr: *addr, Handler: rt}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (planner=%s, replicas=%s)", *addr, *planner, strings.Join(names, ","))
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("listener shutdown: %v", err)
+	}
+}

@@ -429,6 +429,53 @@ func (db *DB) LoadPlans(r io.Reader) (PlanCacheLoadStats, error) {
 	return db.planner.LoadCache(r)
 }
 
+// SavePlansSince writes only the plans installed after the given cache
+// clock — see DB.PlanClock. since = 0 is a full snapshot. The fleet tier
+// pulls deltas with this (via GET /v1/plans?since=) so pushes to replicas
+// stay proportional to what was planned since the last pull, not to the
+// whole cache.
+func (db *DB) SavePlansSince(w io.Writer, since uint64) error {
+	if db.isClosed() {
+		return ErrClosed
+	}
+	return db.planner.SaveCacheSince(w, since)
+}
+
+// PlanClock reports the session planner's cache clock: a monotone count of
+// plan installs (fresh builds plus imports; never reset). A consumer that
+// remembers the clock from a snapshot envelope and later calls
+// SavePlansSince with it receives exactly the plans installed in between.
+func (db *DB) PlanClock() uint64 {
+	if db.isClosed() {
+		return 0
+	}
+	return db.planner.CacheClock()
+}
+
+// ReplanSignatures rebuilds plans from their canonical signature keys — the
+// cross-version migration shim. A signature key completely encodes its
+// canonical query shape, constraint set and mode, so the dropped entries a
+// version-mismatched snapshot reports in SkippedKeys can be re-planned here
+// (paying their LP solves once, off the traffic path) instead of lazily at
+// query time. Keys already cached are free no-ops. It returns the number of
+// plans now live for the given keys and the total LP solves paid; the first
+// unparseable or unplannable key aborts with an error (the keys come from
+// our own snapshots, so any failure is worth surfacing loudly).
+func (db *DB) ReplanSignatures(ctx context.Context, keys []string) (replanned int, lpSolves int, err error) {
+	if db.isClosed() {
+		return 0, 0, ErrClosed
+	}
+	for _, key := range keys {
+		solves, err := db.planner.inner.ReplanKey(ctx, key)
+		if err != nil {
+			return replanned, lpSolves, err
+		}
+		replanned++
+		lpSolves += solves
+	}
+	return replanned, lpSolves, nil
+}
+
 // PlanDir returns the plan-persistence directory configured at Open, or ""
 // when the session is not persistent.
 func (db *DB) PlanDir() string { return db.defaults.planDir }

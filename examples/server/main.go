@@ -13,6 +13,25 @@
 // committed mode and width certificate without executing, and fetches
 // /v1/shapes to show the per-shape telemetry both runs landed on (one
 // digest, two requests).
+//
+// The same client drives a pandarouter fleet unchanged — the router speaks
+// the pandad protocol. Boot a planning tier, two replicas and the router:
+//
+//	go run ./cmd/pandad -addr :8081 -name planner   &
+//	go run ./cmd/pandad -addr :8082 -name replica-a &
+//	go run ./cmd/pandad -addr :8083 -name replica-b &
+//	go run ./cmd/pandarouter -addr :8080 -planner http://localhost:8081 \
+//	    -replicas http://localhost:8082,http://localhost:8083 &
+//
+// then point the client at the router and name the replicas so it can
+// report the fleet-wide plan amortization at the end:
+//
+//	go run ./examples/server -addr http://localhost:8080 \
+//	    -replicas http://localhost:8082,http://localhost:8083
+//
+// The fleet report shows each replica answering with zero LP solves —
+// plans were built once on the planning tier and shipped over PUT
+// /v1/plans before the queries arrived.
 package main
 
 import (
@@ -29,7 +48,8 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	addr := flag.String("addr", "http://localhost:8080", "pandad base URL")
+	addr := flag.String("addr", "http://localhost:8080", "pandad (or pandarouter) base URL")
+	replicas := flag.String("replicas", "", "comma-separated replica base URLs: report fleet plan amortization after the demo")
 	flag.Parse()
 
 	// Ingest: named relations with declared arities, then tuples.
@@ -87,6 +107,35 @@ func main() {
 	for _, sh := range view.Shapes {
 		fmt.Printf("shape     : digest=%s requests=%v rows=%d p50=%.6fs p99=%.6fs\n",
 			sh.Digest, sh.Reqs, sh.Rows, sh.Lat.P50, sh.Lat.P99)
+	}
+
+	// Fleet report: with -addr pointing at a pandarouter and -replicas
+	// naming its backends, /v1/info on each replica shows the division of
+	// labor — every LP solve happened on the planning tier, the replicas
+	// served shipped plans (lp_solves 0, lp_solves_saved > 0).
+	if *replicas == "" {
+		return
+	}
+	for _, rep := range strings.Split(*replicas, ",") {
+		rep = strings.TrimRight(strings.TrimSpace(rep), "/")
+		if rep == "" {
+			continue
+		}
+		info, err := get(rep + "/v1/info")
+		must(info, err)
+		var iv struct {
+			Name    string `json:"name"`
+			Planner struct {
+				Hits          uint64 `json:"hits"`
+				LPSolves      uint64 `json:"lp_solves"`
+				LPSolvesSaved uint64 `json:"lp_solves_saved"`
+			} `json:"planner"`
+		}
+		if err := json.Unmarshal([]byte(info), &iv); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("replica   : %s (%s) hits=%d lp_solves=%d lp_solves_saved=%d\n",
+			iv.Name, rep, iv.Planner.Hits, iv.Planner.LPSolves, iv.Planner.LPSolvesSaved)
 	}
 }
 

@@ -51,7 +51,13 @@ const maxExactsPerPlan = 16
 type Planner struct {
 	mu    sync.Mutex
 	cap   int
-	clock uint64                   // GreedyDual aging clock, in LP-solve units
+	clock uint64 // GreedyDual aging clock, in LP-solve units
+	// seq is the cache clock: a monotone counter bumped once per installed
+	// entry (fresh build or import). Delta snapshots (SaveCacheSince) and
+	// the fleet push loop compare watermarks against it; unlike the
+	// GreedyDual clock it never moves backwards, not even on Reset, so a
+	// remote watermark can never be fooled into skipping new entries.
+	seq   uint64
 	ll    *list.List               // front = most recently used
 	index map[string]*list.Element // canonical Key → element; value is *entry
 	exact map[string]*exactRef     // Fingerprint → entry + its signature
@@ -64,6 +70,7 @@ type entry struct {
 	exacts []string // fingerprints registered against this entry
 	lpCost uint64   // LP solves the original build paid; credited per hit
 	pri    uint64   // eviction priority: clock-at-touch + lpCost
+	gen    uint64   // cache-clock value at install; SaveCacheSince filters on it
 }
 
 // exactRef remembers the signature a fingerprint resolved to, so later
@@ -215,7 +222,8 @@ func (pl *Planner) PrepareContext(ctx context.Context, q *query.Conjunctive, con
 		ent.pri = pl.clock + ent.lpCost
 	} else {
 		cost := uint64(bs.LPSolves)
-		el = pl.ll.PushFront(&entry{key: sig.Key, plan: canon, lpCost: cost, pri: pl.clock + cost})
+		pl.seq++
+		el = pl.ll.PushFront(&entry{key: sig.Key, plan: canon, lpCost: cost, pri: pl.clock + cost, gen: pl.seq})
 		pl.index[sig.Key] = el
 	}
 	pl.registerExact(el, fp, sig)
@@ -250,7 +258,10 @@ func (pl *Planner) Keys() []string {
 	return out
 }
 
-// Reset empties the cache and zeroes the counters.
+// Reset empties the cache and zeroes the counters. The cache clock is NOT
+// reset: it only ever moves forward, so delta watermarks held by remote
+// pushers stay sound across a Reset (the re-added entries get fresh, higher
+// generations and are exported again).
 func (pl *Planner) Reset() {
 	pl.mu.Lock()
 	defer pl.mu.Unlock()
@@ -259,6 +270,16 @@ func (pl *Planner) Reset() {
 	pl.exact = map[string]*exactRef{}
 	pl.stats = Stats{}
 	pl.clock = 0
+}
+
+// CacheClock reports the cache clock: the number of entry installs (fresh
+// builds plus imports) this planner has performed. SaveCacheSince(w, c)
+// with a clock captured earlier exports exactly the entries installed in
+// between; the fleet push loop uses it as its per-replica watermark.
+func (pl *Planner) CacheClock() uint64 {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.seq
 }
 
 func (s Stats) String() string {

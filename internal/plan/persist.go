@@ -24,8 +24,14 @@ import (
 // hit on it credits LPSolvesSaved with that same cost.
 
 type cacheEnvelope struct {
-	Format  string       `json:"format"`
-	Version int          `json:"version"`
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Clock is the exporting planner's cache clock at snapshot time. A
+	// delta consumer (the router's push loop) records it as its watermark
+	// and asks for "entries newer than Clock" next time; full snapshots
+	// carry it too, so the first delta after a full import starts correct.
+	// Absent (0) in snapshots written before the field existed.
+	Clock   uint64       `json:"clock,omitempty"`
 	Entries []cacheEntry `json:"entries"`
 }
 
@@ -52,7 +58,19 @@ type CacheLoadStats struct {
 	Duplicates int
 	// FirstErr is the rejection reason of the first skipped entry.
 	FirstErr error
+	// SkippedKeys lists the canonical signature keys of the skipped
+	// entries (capped at maxSkippedKeys). A signature key is a complete
+	// encoding of the canonical query shape and constraint set, so a
+	// caller can hand these to ReplanKey / DB.ReplanSignatures and rebuild
+	// the dropped plans in the background instead of re-paying their LP
+	// solves lazily at traffic time — the cross-version migration shim.
+	SkippedKeys []string
 }
+
+// maxSkippedKeys bounds CacheLoadStats.SkippedKeys so a hostile snapshot
+// full of junk entries cannot balloon the stats (or the background replan
+// work a caller schedules from them).
+const maxSkippedKeys = 512
 
 func (s CacheLoadStats) String() string {
 	if s.FirstErr != nil {
@@ -66,6 +84,16 @@ func (s CacheLoadStats) String() string {
 // respect to concurrent Prepare calls; the (immutable) plans are then
 // encoded outside the planner lock.
 func (pl *Planner) SaveCache(w io.Writer) error {
+	return pl.SaveCacheSince(w, 0)
+}
+
+// SaveCacheSince writes only the entries installed after the given cache
+// clock — the delta seam the fleet push loop is built on. since = 0 is a
+// full snapshot. The envelope records the planner's clock as of the
+// snapshot, taken atomically with the entry selection, so a consumer that
+// imports the delta and remembers the envelope clock sees every entry
+// exactly once across successive pulls.
+func (pl *Planner) SaveCacheSince(w io.Writer, since uint64) error {
 	pl.mu.Lock()
 	type snap struct {
 		key    string
@@ -75,11 +103,15 @@ func (pl *Planner) SaveCache(w io.Writer) error {
 	snaps := make([]snap, 0, pl.ll.Len())
 	for el := pl.ll.Front(); el != nil; el = el.Next() {
 		ent := el.Value.(*entry)
+		if ent.gen <= since {
+			continue
+		}
 		snaps = append(snaps, snap{key: ent.key, lpCost: ent.lpCost, plan: ent.plan})
 	}
+	clock := pl.seq
 	pl.mu.Unlock()
 
-	env := cacheEnvelope{Format: cacheFormat, Version: FormatVersion}
+	env := cacheEnvelope{Format: cacheFormat, Version: FormatVersion, Clock: clock}
 	for _, s := range snaps {
 		wp, err := planOut(s.plan)
 		if err != nil {
@@ -120,19 +152,30 @@ func (pl *Planner) LoadCache(r io.Reader) (CacheLoadStats, error) {
 	if env.Format != cacheFormat {
 		return stats, fmt.Errorf("plan: load cache: format %q, want %q", env.Format, cacheFormat)
 	}
-	skip := func(err error) {
+	skip := func(key string, err error) {
 		stats.Skipped++
 		if stats.FirstErr == nil {
 			stats.FirstErr = err
+		}
+		if key != "" && len(stats.SkippedKeys) < maxSkippedKeys {
+			stats.SkippedKeys = append(stats.SkippedKeys, key)
 		}
 	}
 	if env.Version != FormatVersion {
 		// A different format version makes the whole snapshot
 		// untrustworthy; skip it all (counting at least one skip even for
 		// an empty snapshot, so "nothing loaded because of a version
-		// mismatch" is never mistaken for a clean no-op).
+		// mismatch" is never mistaken for a clean no-op). The entry KEYS
+		// are still trustworthy enough to report — a key is a plain string
+		// whose worst failure mode is an unparseable replan request — so a
+		// FormatVersion bump surfaces exactly which signatures it dropped.
 		stats.Skipped = max(1, len(env.Entries))
 		stats.FirstErr = fmt.Errorf("%w: got %d, want %d", ErrCodecVersion, env.Version, FormatVersion)
+		for _, ent := range env.Entries {
+			if ent.Key != "" && len(stats.SkippedKeys) < maxSkippedKeys {
+				stats.SkippedKeys = append(stats.SkippedKeys, ent.Key)
+			}
+		}
 		return stats, nil
 	}
 	type loaded struct {
@@ -143,21 +186,21 @@ func (pl *Planner) LoadCache(r io.Reader) (CacheLoadStats, error) {
 	var plans []loaded
 	for i, ent := range env.Entries {
 		if digestOf(ent.Plan) != ent.Digest {
-			skip(fmt.Errorf("%w (entry %d)", ErrCodecDigest, i))
+			skip(ent.Key, fmt.Errorf("%w (entry %d)", ErrCodecDigest, i))
 			continue
 		}
 		var wp wirePlan
 		if err := json.Unmarshal(ent.Plan, &wp); err != nil {
-			skip(fmt.Errorf("plan: load cache entry %d: malformed payload: %w", i, err))
+			skip(ent.Key, fmt.Errorf("plan: load cache entry %d: malformed payload: %w", i, err))
 			continue
 		}
 		p, err := planIn(&wp)
 		if err != nil {
-			skip(fmt.Errorf("plan: load cache entry %d: %w", i, err))
+			skip(ent.Key, fmt.Errorf("plan: load cache entry %d: %w", i, err))
 			continue
 		}
 		if p.Key != ent.Key || ent.Key == "" {
-			skip(fmt.Errorf("plan: load cache entry %d: key disagrees with the plan's signature", i))
+			skip(ent.Key, fmt.Errorf("plan: load cache entry %d: key disagrees with the plan's signature", i))
 			continue
 		}
 		plans = append(plans, loaded{key: ent.Key, lpCost: ent.LPCost, plan: p})
@@ -173,8 +216,11 @@ func (pl *Planner) LoadCache(r io.Reader) (CacheLoadStats, error) {
 		// Entries arrive most recently used first; PushBack preserves that
 		// order below any live entries, and the GreedyDual priority is
 		// re-seeded from the recorded LP cost so an expensive imported plan
-		// keeps its eviction resistance.
-		el := pl.ll.PushBack(&entry{key: l.key, plan: l.plan, lpCost: l.lpCost, pri: pl.clock + l.lpCost})
+		// keeps its eviction resistance. Imports advance the cache clock
+		// like fresh builds do, so a replica's own delta exports (and its
+		// /v1/info plan clock) reflect pushed entries.
+		pl.seq++
+		el := pl.ll.PushBack(&entry{key: l.key, plan: l.plan, lpCost: l.lpCost, pri: pl.clock + l.lpCost, gen: pl.seq})
 		pl.index[l.key] = el
 		stats.Loaded++
 	}

@@ -1,0 +1,301 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"panda"
+	"panda/internal/server"
+)
+
+// fleet is an in-process two-replica topology: one planning tier, two
+// serving replicas (all real internal/server instances over real panda.DB
+// sessions), and the router in front.
+type fleet struct {
+	router   *Router
+	front    *httptest.Server
+	planner  *node
+	replicas []*node
+}
+
+type node struct {
+	db  *panda.DB
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+func newNode(t *testing.T, name string) *node {
+	t.Helper()
+	db := panda.Open(panda.WithPlannerCapacity(64))
+	srv := server.New(server.Config{DB: db, Name: name})
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		db.Close()
+	})
+	return &node{db: db, srv: srv, ts: ts}
+}
+
+func newFleet(t *testing.T) *fleet {
+	t.Helper()
+	f := &fleet{
+		planner:  newNode(t, "planner"),
+		replicas: []*node{newNode(t, "replica-a"), newNode(t, "replica-b")},
+	}
+	r, err := New(Config{
+		Replicas:   []string{f.replicas[0].ts.URL, f.replicas[1].ts.URL},
+		Planner:    f.planner.ts.URL,
+		PushEvery:  time.Hour, // plans must arrive via the synchronous ensure path
+		ProbeEvery: time.Hour, // health transitions are driven by the test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	f.router = r
+	f.front = httptest.NewServer(r)
+	t.Cleanup(f.front.Close)
+	return f
+}
+
+// seed loads the triangle workload into the fleet THROUGH the router: the
+// catalog mutations broadcast to the planning tier and both replicas.
+func (f *fleet) seed(t *testing.T) (*panda.Query, *panda.Instance) {
+	t.Helper()
+	q := panda.TriangleQuery()
+	ins := panda.RandomInstance(11, &q.Schema, 40, 10)
+	for i, a := range q.Schema.Atoms {
+		code, body := httpDo(t, http.MethodPost, f.front.URL+"/v1/relations",
+			fmt.Sprintf(`{"name":%q,"arity":%d}`, a.Name, a.Vars.Card()))
+		if code == http.StatusConflict {
+			continue
+		}
+		if code != http.StatusCreated {
+			t.Fatalf("create %s via router: %d %s", a.Name, code, body)
+		}
+		rows, err := json.Marshal(ins.Relations[i].Rows())
+		if err != nil {
+			t.Fatal(err)
+		}
+		code, body = httpDo(t, http.MethodPost, f.front.URL+"/v1/relations/"+a.Name+"/rows",
+			fmt.Sprintf(`{"rows":%s}`, rows))
+		if code != http.StatusOK {
+			t.Fatalf("insert %s via router: %d %s", a.Name, code, body)
+		}
+	}
+	return q, ins
+}
+
+func httpDo(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// mixedShapes is the traffic corpus: sixteen distinct conjunctive shapes
+// (the plain triangle, a path join, and the triangle under fourteen
+// different — sound, loose — cardinality bounds) so both replicas get
+// shards with overwhelming probability.
+func mixedShapes() []string {
+	shapes := []string{
+		`Q(A,B,C) :- R(A,B), S(B,C), T(A,C).`,
+		`Q(X,Z) :- R(X,Y), S(Y,Z).`,
+	}
+	for i := 0; i < 14; i++ {
+		shapes = append(shapes, fmt.Sprintf("Q(A,B,C) :- R(A,B), S(B,C), T(A,C).\n|R| <= %d", 50+5*i))
+	}
+	return shapes
+}
+
+type replicaShapes struct {
+	Shapes []struct {
+		Digest string `json:"digest"`
+	} `json:"shapes"`
+}
+
+// TestFleetAmortizesPlanningAndSurvivesFailover is the headline e2e: with
+// one planning tier and two replicas behind the router,
+//
+//  1. repeated mixed-shape traffic yields lp_solves_total == 0 on BOTH
+//     replicas while lp_solves_saved_total climbs on each — every LP solve
+//     in the fleet happened once, on the planner;
+//  2. routing is shape-disjoint: each signature digest appears in exactly
+//     one replica's /v1/shapes table;
+//  3. rows match a direct single-process pandad on the same data;
+//  4. draining one replica mid-traffic loses ZERO requests — the drained
+//     replica's shard fails over to the survivor, which serves it from the
+//     pushed plans, still without planning.
+func TestFleetAmortizesPlanningAndSurvivesFailover(t *testing.T) {
+	f := newFleet(t)
+	q, ins := f.seed(t)
+
+	// A direct pandad over the same data is the golden reference.
+	direct := newNode(t, "direct")
+	for i, a := range q.Schema.Atoms {
+		code, _ := httpDo(t, http.MethodPost, direct.ts.URL+"/v1/relations",
+			fmt.Sprintf(`{"name":%q,"arity":%d}`, a.Name, a.Vars.Card()))
+		if code == http.StatusConflict {
+			continue
+		}
+		rows, _ := json.Marshal(ins.Relations[i].Rows())
+		httpDo(t, http.MethodPost, direct.ts.URL+"/v1/relations/"+a.Name+"/rows", fmt.Sprintf(`{"rows":%s}`, rows))
+	}
+
+	shapes := mixedShapes()
+	queryRows := func(t *testing.T, base, src string) string {
+		code, body := httpDo(t, http.MethodPost, base+"/v1/query", fmt.Sprintf(`{"query":%q}`, src))
+		if code != http.StatusOK {
+			t.Fatalf("query %q on %s: %d %s", src, base, code, body)
+		}
+		var res struct {
+			OK   bool              `json:"ok"`
+			Rows []json.RawMessage `json:"rows"`
+		}
+		if err := json.Unmarshal([]byte(body), &res); err != nil {
+			t.Fatalf("bad response for %q: %v\n%s", src, err, body)
+		}
+		out, _ := json.Marshal(res.Rows)
+		return string(out)
+	}
+
+	// Three rounds of the full corpus: round one plans (on the planner),
+	// rounds two and three must be pure cache hits fleet-wide.
+	for round := 0; round < 3; round++ {
+		for _, src := range shapes {
+			got := queryRows(t, f.front.URL, src)
+			want := queryRows(t, direct.ts.URL, src)
+			if got != want {
+				t.Fatalf("round %d: rows for %q diverge from the direct server:\n got %s\nwant %s", round, src, got, want)
+			}
+		}
+	}
+	// A renaming of the triangle routes to the same replica and hits the
+	// same plan.
+	if got, want := queryRows(t, f.front.URL, `Q(X,Y,Z) :- R(X,Y), S(Y,Z), T(X,Z).`),
+		queryRows(t, direct.ts.URL, triangleSrc); got != want {
+		t.Fatalf("renamed triangle rows %s, want %s", got, want)
+	}
+
+	// (1) Fleet-wide amortization: the planner paid every LP solve; the
+	// replicas paid none and saved plenty.
+	plannerStats := f.planner.db.PlannerStats()
+	if plannerStats.LPSolves == 0 || plannerStats.Misses < uint64(len(shapes)) {
+		t.Fatalf("planner stats %+v, want it to have planned all %d shapes", plannerStats, len(shapes))
+	}
+	for i, rep := range f.replicas {
+		st := rep.db.PlannerStats()
+		if st.LPSolves != 0 || st.Misses != 0 || st.PlansBuilt != 0 {
+			t.Fatalf("replica %d did planning work: %+v", i, st)
+		}
+		if st.Hits < 1 || st.LPSolvesSaved < 1 {
+			t.Fatalf("replica %d served no cached shapes: %+v (rerun: rendezvous starved it?)", i, st)
+		}
+	}
+
+	// (2) Shape-disjoint routing: each execution digest is served by
+	// exactly one replica.
+	digests := make([]map[string]bool, len(f.replicas))
+	for i, rep := range f.replicas {
+		code, body := httpDo(t, http.MethodGet, rep.ts.URL+"/v1/shapes", "")
+		if code != http.StatusOK {
+			t.Fatalf("shapes on replica %d: %d", i, code)
+		}
+		var rs replicaShapes
+		if err := json.Unmarshal([]byte(body), &rs); err != nil {
+			t.Fatal(err)
+		}
+		digests[i] = map[string]bool{}
+		for _, sh := range rs.Shapes {
+			digests[i][sh.Digest] = true
+		}
+		if len(digests[i]) == 0 {
+			t.Fatalf("replica %d served no shapes", i)
+		}
+	}
+	for d := range digests[0] {
+		if digests[1][d] {
+			t.Fatalf("digest %s was served by both replicas — sharding is not disjoint", d)
+		}
+	}
+
+	// (4) Drain one replica (what SIGTERM does to pandad) and rerun the
+	// whole corpus: zero failed requests, and the survivor still plans
+	// nothing because it holds every pushed plan.
+	drained := f.replicas[0]
+	survivor := f.replicas[1]
+	if err := drained.srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range shapes {
+		got := queryRows(t, f.front.URL, src) // Fatals on any non-200
+		want := queryRows(t, direct.ts.URL, src)
+		if got != want {
+			t.Fatalf("post-drain rows for %q diverge: got %s want %s", src, got, want)
+		}
+	}
+	st := survivor.db.PlannerStats()
+	if st.LPSolves != 0 || st.Misses != 0 {
+		t.Fatalf("survivor planned after failover: %+v", st)
+	}
+	m := metricsText(t, f.front.URL)
+	if !strings.Contains(m, fmt.Sprintf("panda_router_failovers_total{replica=%q} 1", drained.ts.URL)) {
+		t.Fatalf("router metrics missing the drain failover:\n%s", m)
+	}
+	if !strings.Contains(m, "panda_router_no_healthy_replica_total 0") {
+		t.Fatalf("router metrics report dropped requests:\n%s", m)
+	}
+}
+
+// TestFleetMutationInvalidatesShapes: a catalog mutation changes the
+// cardinality constraints embedded in plan signatures, so the router must
+// re-warm and re-ship every shape it sees afterwards — and replicas still
+// never plan.
+func TestFleetMutationInvalidatesShapes(t *testing.T) {
+	f := newFleet(t)
+	f.seed(t)
+
+	if code, body := httpDo(t, http.MethodPost, f.front.URL+"/v1/query", fmt.Sprintf(`{"query":%q}`, triangleSrc)); code != http.StatusOK {
+		t.Fatalf("pre-mutation query: %d %s", code, body)
+	}
+	clockBefore := f.planner.db.PlanClock()
+
+	// Grow R through the router: new cardinality, new signature.
+	if code, body := httpDo(t, http.MethodPost, f.front.URL+"/v1/relations/R/rows", `{"rows":[[997,998],[998,999]]}`); code != http.StatusOK {
+		t.Fatalf("mutation: %d %s", code, body)
+	}
+	if code, body := httpDo(t, http.MethodPost, f.front.URL+"/v1/query", fmt.Sprintf(`{"query":%q}`, triangleSrc)); code != http.StatusOK {
+		t.Fatalf("post-mutation query: %d %s", code, body)
+	}
+	if clockAfter := f.planner.db.PlanClock(); clockAfter <= clockBefore {
+		t.Fatalf("planner clock %d → %d; the mutated shape was not re-planned", clockBefore, clockAfter)
+	}
+	for i, rep := range f.replicas {
+		if st := rep.db.PlannerStats(); st.LPSolves != 0 {
+			t.Fatalf("replica %d planned after the mutation: %+v", i, st)
+		}
+	}
+}

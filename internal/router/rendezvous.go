@@ -1,0 +1,56 @@
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Rendezvous (highest-random-weight) hashing assigns each routing key an
+// ordered preference list over the replica set: every (replica, key) pair
+// gets an independent pseudo-random score and the replicas are ranked by
+// it. The properties the fleet tier leans on:
+//
+//   - Deterministic and order-free: the ranking depends only on the SET of
+//     replica names, not the order they were configured in, so every router
+//     (and every restart) agrees.
+//   - Minimal disruption: when a replica leaves, only the keys that ranked
+//     it first move — each to its previous second choice — and no key
+//     moves between two surviving replicas. That is exactly the failover
+//     behaviour that keeps the other replicas' plan/stmt caches hot.
+//   - Balance: scores are i.i.d. across keys, so shards even out over a
+//     query-shape corpus without any coordination or ring maintenance.
+
+// score hashes a (replica, key) pair with FNV-1a 64. The NUL separator
+// keeps ("ab","c") and ("a","bc") from colliding.
+func score(replica, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(replica))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// Rank orders replicas by descending rendezvous score for key, breaking
+// (astronomically unlikely) score ties by name so the order is total. The
+// returned slice is freshly allocated; replicas is not modified.
+func Rank(replicas []string, key string) []string {
+	type scored struct {
+		name string
+		s    uint64
+	}
+	ranked := make([]scored, len(replicas))
+	for i, r := range replicas {
+		ranked[i] = scored{name: r, s: score(r, key)}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].s != ranked[j].s {
+			return ranked[i].s > ranked[j].s
+		}
+		return ranked[i].name < ranked[j].name
+	})
+	out := make([]string, len(ranked))
+	for i, r := range ranked {
+		out[i] = r.name
+	}
+	return out
+}

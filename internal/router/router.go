@@ -1,0 +1,784 @@
+// Package router implements pandarouter: a signature-sharded routing tier
+// over pandad replicas with fleet-wide plan shipping.
+//
+// PANDA's planning phase (the Shannon-flow LP solves) is data-independent
+// and cacheable; PRs 1-6 made one process amortize it across repeated
+// traffic. This tier amortizes it across a FLEET:
+//
+//	client ──▶ pandarouter ──rendezvous(shape)──▶ replica A  (plans: pushed, LP solves: 0)
+//	                 │                        └─▶ replica B  (plans: pushed, LP solves: 0)
+//	                 └──new shapes──▶ planning tier (pays every LP solve once)
+//
+// Every /v1/query and /v1/plan is routed by the query's canonical shape —
+// the renaming-invariant signature computed WITHOUT catalog access or LP
+// work — so each query shape consistently lands on one replica and every
+// replica's plan/stmt caches stay hot and disjoint. The first time the
+// router sees a shape it synchronously warms the designated planning tier
+// (which pays the LP solves) and ships the resulting plans to all healthy
+// replicas via the delta export (GET /v1/plans?since=<clock> on the
+// planner, PUT /v1/plans on the replicas) before forwarding the query, so
+// replicas never plan: their lp_solves_total stays 0 while
+// lp_solves_saved_total climbs. A background push loop repeats the
+// delta-pull/push on a timer, which is also how a replica that was briefly
+// down catches up.
+//
+// Replicas are health-checked (GET /healthz) and failed over: a transport
+// error or 503 marks the replica down and the request retries on the next-
+// ranked healthy replica (rendezvous ranking makes that retry target
+// deterministic, so a downed replica's shard moves wholesale to its second
+// choice and nothing else reshuffles). When no replica remains the router
+// answers 502 with the stable code "no_healthy_replica".
+//
+// Catalog mutations (relation create/drop, row/CSV ingest) are broadcast —
+// planning tier first, then every replica — because plan signatures embed
+// catalog cardinalities: after a mutation the planned-shape memo is
+// dropped and the next query per shape re-warms and re-ships.
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config assembles a Router.
+type Config struct {
+	// Replicas are the base URLs of the query-serving pandad fleet;
+	// required, at least one. The URL doubles as the replica's rendezvous
+	// identity, so keep it stable across router restarts.
+	Replicas []string
+	// Planner is the base URL of the designated planning tier (a pandad
+	// that pays the LP solves for new shapes); required.
+	Planner string
+	// PushEvery is the background delta push period (default 2s).
+	PushEvery time.Duration
+	// ProbeEvery is the replica health-probe period (default 500ms).
+	ProbeEvery time.Duration
+	// ProxyTimeout caps each proxied attempt (default 30s).
+	ProxyTimeout time.Duration
+	// Client overrides the HTTP client (tests inject one).
+	Client *http.Client
+	// Logf receives operational log lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// backend is one replica: its rendezvous identity plus live health state.
+type backend struct {
+	name string // base URL; also the rendezvous hash identity
+
+	mu      sync.Mutex
+	healthy bool
+}
+
+func (b *backend) isHealthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
+}
+
+// setHealthy flips the state, reporting whether it changed.
+func (b *backend) setHealthy(v bool) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	changed := b.healthy != v
+	b.healthy = v
+	return changed
+}
+
+// Router is the HTTP handler. Create one with New, stop it with Close.
+type Router struct {
+	replicas []*backend
+	planner  string
+	client   *http.Client
+	timeout  time.Duration
+	logf     func(string, ...any)
+	shapes   *shapeCache
+	metrics  *routerMetrics
+	mux      *http.ServeMux
+	start    time.Time
+
+	// pushMu serializes plan-shipping cycles (first-sighting ensures and
+	// the background loop); watermarks and planned are owned by it.
+	pushMu sync.Mutex
+	// watermarks maps replica name → the planner cache clock whose
+	// entries that replica has already imported; the next delta pull asks
+	// the planner for ?since=min(watermarks).
+	watermarks map[string]uint64
+	// planned memoizes routing shapes known to be planned fleet-wide;
+	// dropped wholesale on catalog mutations (signatures embed
+	// cardinalities) and when it outgrows plannedCap.
+	planned    map[string]struct{}
+	plannedCap int
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// maxProxyBodyBytes bounds a buffered request body (queries are small;
+// ingest bodies are the big ones and 64 MiB matches pandad's import cap).
+const maxProxyBodyBytes = 64 << 20
+
+// defaultPlannedCap bounds the planned-shape memo.
+const defaultPlannedCap = 1 << 16
+
+// New builds the router, runs one synchronous probe round so the first
+// request already knows who is alive, and starts the probe and push loops.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, errors.New("router: at least one replica is required")
+	}
+	if cfg.Planner == "" {
+		return nil, errors.New("router: a planner URL is required")
+	}
+	if cfg.PushEvery <= 0 {
+		cfg.PushEvery = 2 * time.Second
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 500 * time.Millisecond
+	}
+	if cfg.ProxyTimeout <= 0 {
+		cfg.ProxyTimeout = 30 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	r := &Router{
+		planner:    cfg.Planner,
+		client:     cfg.Client,
+		timeout:    cfg.ProxyTimeout,
+		logf:       cfg.Logf,
+		shapes:     newShapeCache(0),
+		metrics:    newRouterMetrics(),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		watermarks: map[string]uint64{},
+		planned:    map[string]struct{}{},
+		plannedCap: defaultPlannedCap,
+		stop:       make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, name := range cfg.Replicas {
+		if seen[name] {
+			return nil, fmt.Errorf("router: duplicate replica %q", name)
+		}
+		seen[name] = true
+		r.replicas = append(r.replicas, &backend{name: name, healthy: true})
+	}
+	r.routes()
+	r.probeAll()
+	r.wg.Add(2)
+	go r.probeLoop(cfg.ProbeEvery)
+	go r.pushLoop(cfg.PushEvery)
+	return r, nil
+}
+
+// Close stops the probe and push loops. It does not drain in-flight
+// requests; the owning http.Server's Shutdown does that.
+func (r *Router) Close() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	r.wg.Wait()
+}
+
+func (r *Router) routes() {
+	r.mux.HandleFunc("POST /v1/query", r.observed("query", r.handleQuery))
+	r.mux.HandleFunc("GET /v1/plan", r.observed("plan", r.handlePlan))
+	r.mux.HandleFunc("GET /v1/plans", r.observed("plans", r.handleExportPlans))
+	r.mux.HandleFunc("PUT /v1/plans", r.observed("plans", r.handleImportPlans))
+	r.mux.HandleFunc("GET /v1/relations", r.observed("relations", r.proxyPlannerRead))
+	r.mux.HandleFunc("GET /v1/shapes", r.observed("shapes", r.handleShapes))
+	r.mux.HandleFunc("POST /v1/relations", r.observed("relations", r.handleMutation))
+	r.mux.HandleFunc("DELETE /v1/relations/{name}", r.observed("relations", r.handleMutation))
+	r.mux.HandleFunc("POST /v1/relations/{name}/rows", r.observed("rows", r.handleMutation))
+	r.mux.HandleFunc("POST /v1/relations/{name}/csv", r.observed("csv", r.handleMutation))
+	r.mux.HandleFunc("GET /metrics", r.observed("metrics", r.handleMetrics))
+	r.mux.HandleFunc("GET /healthz", r.observed("healthz", r.handleHealthz))
+	r.mux.HandleFunc("GET /v1/info", r.observed("info", r.handleInfo))
+}
+
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) { r.mux.ServeHTTP(w, req) }
+
+// observed is the metrics middleware: request counts and latency by
+// endpoint and status.
+func (r *Router) observed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, req)
+		r.metrics.observe(endpoint, sw.code, time.Since(start))
+	}
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
+}
+
+// ---- Health probing ----
+
+func (r *Router) probeLoop(every time.Duration) {
+	defer r.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.probeAll()
+		}
+	}
+}
+
+func (r *Router) probeAll() {
+	for _, b := range r.replicas {
+		healthy := r.probe(b.name)
+		if b.setHealthy(healthy) {
+			if healthy {
+				r.logf("router: replica %s is back", b.name)
+			} else {
+				r.logf("router: replica %s is down", b.name)
+				r.metrics.addFailover(b.name)
+			}
+		}
+	}
+}
+
+// probe asks one backend's /healthz with a short deadline.
+func (r *Router) probe(base string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// markDown records an in-request health discovery (transport error or 503
+// from a replica) so the very next candidate ranking already avoids it;
+// the probe loop brings the replica back once /healthz answers again.
+func (r *Router) markDown(b *backend) {
+	if b.setHealthy(false) {
+		r.logf("router: replica %s failed in-request, failing over", b.name)
+		r.metrics.addFailover(b.name)
+	}
+}
+
+func (r *Router) healthyReplicas() []*backend {
+	out := make([]*backend, 0, len(r.replicas))
+	for _, b := range r.replicas {
+		if b.isHealthy() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func (r *Router) backendByName(name string) *backend {
+	for _, b := range r.replicas {
+		if b.name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// ---- Plan shipping ----
+
+func (r *Router) pushLoop(every time.Duration) {
+	defer r.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.pushMu.Lock()
+			r.pullAndPush(context.Background())
+			r.pushMu.Unlock()
+		}
+	}
+}
+
+// ensurePlanned makes a first-sighted conjunctive shape safe to route:
+// the planning tier is warmed synchronously (it pays the LP solves on its
+// own cache miss), its fresh plans are delta-pulled and pushed to every
+// healthy replica, and the shape is memoized. Replicas therefore see the
+// plan arrive BEFORE the query does and never plan themselves. Planner
+// trouble degrades gracefully: the query still routes (the replica would
+// plan as a last resort) and the shape stays un-memoized so the next
+// sighting retries the warm-up.
+func (r *Router) ensurePlanned(ctx context.Context, shape, src, mode string) {
+	r.pushMu.Lock()
+	defer r.pushMu.Unlock()
+	if _, ok := r.planned[shape]; ok {
+		return
+	}
+	u := r.planner + "/v1/plan?q=" + url.QueryEscape(src)
+	if mode != "" {
+		u += "&mode=" + url.QueryEscape(mode)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.metrics.addPlannerError()
+		r.logf("router: planner warm-up for shape %s failed: %v", shape, err)
+		return
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// The planner rejected the query (parse error, unknown relation,
+		// unbounded LP, …). The replica will reject it identically; memoize
+		// nothing and let the query through to produce the real error.
+		r.metrics.addPlannerError()
+		return
+	}
+	r.metrics.addEnsure()
+	r.pullAndPush(ctx)
+	if len(r.planned) >= r.plannedCap {
+		r.planned = map[string]struct{}{}
+	}
+	r.planned[shape] = struct{}{}
+}
+
+// pullAndPush pulls one delta from the planner (since the oldest healthy
+// replica watermark) and imports it into every healthy replica that is
+// behind the delta's clock. Over-delivery is harmless — imports never
+// clobber live entries and duplicates are counted, not rejected — so one
+// pull serves replicas at different watermarks. Caller holds pushMu.
+func (r *Router) pullAndPush(ctx context.Context) {
+	replicas := r.healthyReplicas()
+	if len(replicas) == 0 {
+		return
+	}
+	since := r.watermarks[replicas[0].name]
+	for _, b := range replicas[1:] {
+		if w := r.watermarks[b.name]; w < since {
+			since = w
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/plans?since=%d", r.planner, since), nil)
+	if err != nil {
+		return
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		r.metrics.addPlannerError()
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBodyBytes))
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		r.metrics.addPlannerError()
+		return
+	}
+	var env struct {
+		Clock   uint64            `json:"clock"`
+		Entries []json.RawMessage `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil {
+		r.metrics.addPlannerError()
+		return
+	}
+	if len(env.Entries) == 0 {
+		// Nothing new: advance watermarks to the planner's clock so the
+		// next pull stays cheap.
+		for _, b := range replicas {
+			if r.watermarks[b.name] < env.Clock {
+				r.watermarks[b.name] = env.Clock
+			}
+		}
+		return
+	}
+	r.metrics.addPush()
+	for _, b := range replicas {
+		if r.watermarks[b.name] >= env.Clock {
+			continue
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, b.name+"/v1/plans", bytes.NewReader(body))
+		if err != nil {
+			continue
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := r.client.Do(req)
+		if err != nil {
+			r.markDown(b)
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// 200 (clean) and 422 (partial skip, reported loudly by the
+		// replica) both mean the snapshot was processed; only transport
+		// failures leave the watermark behind for a retry.
+		if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusUnprocessableEntity {
+			r.watermarks[b.name] = env.Clock
+			r.metrics.addPushEntries(b.name, uint64(len(env.Entries)))
+			if resp.StatusCode == http.StatusUnprocessableEntity {
+				r.logf("router: replica %s imported the delta with skips", b.name)
+			}
+		}
+	}
+}
+
+// ---- Query / plan routing ----
+
+type queryBody struct {
+	Query string `json:"query"`
+	Mode  string `json:"mode"`
+}
+
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxProxyBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	// Lenient decode: the router only needs the routing fields; the
+	// replica stays the strict validator of the full body.
+	var qb queryBody
+	json.Unmarshal(body, &qb)
+	shape := qb.Query // parse failures route by raw text; the replica reports the real error
+	conjunctive := false
+	if qb.Query != "" {
+		if s, conj, err := r.shapes.shape(qb.Query, qb.Mode); err == nil {
+			shape, conjunctive = s, conj
+		}
+	}
+	if conjunctive {
+		r.ensurePlanned(req.Context(), shape, qb.Query, qb.Mode)
+	}
+	r.routeWithFailover(w, req, shape, body)
+}
+
+func (r *Router) handlePlan(w http.ResponseWriter, req *http.Request) {
+	src := req.URL.Query().Get("q")
+	mode := req.URL.Query().Get("mode")
+	shape := src
+	conjunctive := false
+	if src != "" {
+		if s, conj, err := r.shapes.shape(src, mode); err == nil {
+			shape, conjunctive = s, conj
+		}
+	}
+	if conjunctive {
+		r.ensurePlanned(req.Context(), shape, src, mode)
+	}
+	r.routeWithFailover(w, req, shape, nil)
+}
+
+// routeWithFailover forwards the request to the healthy replicas in
+// rendezvous order for shape: the first-ranked healthy replica gets the
+// request; a transport error or 503 marks it down and the next-ranked one
+// is tried (each downed replica costs exactly one bounded retry). When no
+// healthy replica remains the answer is 502 "no_healthy_replica".
+func (r *Router) routeWithFailover(w http.ResponseWriter, req *http.Request, shape string, body []byte) {
+	names := make([]string, len(r.replicas))
+	for i, b := range r.replicas {
+		names[i] = b.name
+	}
+	attempts := 0
+	for _, name := range Rank(names, shape) {
+		b := r.backendByName(name)
+		if !b.isHealthy() {
+			continue
+		}
+		if attempts > 0 {
+			r.metrics.addRetry()
+		}
+		attempts++
+		ok := r.proxyOnce(w, req, b, shape, body)
+		if ok {
+			return
+		}
+	}
+	r.metrics.addNoHealthy()
+	writeError(w, http.StatusBadGateway, "no_healthy_replica",
+		fmt.Errorf("no healthy replica for shape %s (%d attempted)", shape, attempts))
+}
+
+// proxyOnce sends the request to one replica. It reports false — without
+// having written to w — when the replica should be failed over (transport
+// error, or 503: the replica is draining or closed); any other response,
+// success or error, is copied through verbatim as the request's outcome.
+func (r *Router) proxyOnce(w http.ResponseWriter, req *http.Request, b *backend, shape string, body []byte) bool {
+	ctx, cancel := context.WithTimeout(req.Context(), r.timeout)
+	defer cancel()
+	u := b.name + req.URL.Path
+	if req.URL.RawQuery != "" {
+		u += "?" + req.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	out, err := http.NewRequestWithContext(ctx, req.Method, u, rd)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "proxy_error", err)
+		return true
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	resp, err := r.client.Do(out)
+	if err != nil {
+		r.markDown(b)
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		io.Copy(io.Discard, resp.Body)
+		r.markDown(b)
+		return false
+	}
+	r.metrics.addRouted(shape, b.name)
+	copyResponse(w, resp)
+	return true
+}
+
+// copyResponse relays status, content type and body.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// ---- Plan export/import and catalog passthrough ----
+
+// handleExportPlans proxies to the planning tier — the authoritative plan
+// cache (replicas only ever hold subsets it pushed).
+func (r *Router) handleExportPlans(w http.ResponseWriter, req *http.Request) {
+	r.proxyTo(w, req, r.planner, nil)
+}
+
+// proxyPlannerRead forwards a read-only endpoint to the planning tier,
+// which shares the fleet's catalog.
+func (r *Router) proxyPlannerRead(w http.ResponseWriter, req *http.Request) {
+	r.proxyTo(w, req, r.planner, nil)
+}
+
+// handleShapes aggregates per-shape telemetry across the fleet: every
+// replica's /v1/shapes entries, each tagged with the replica that served
+// it. Because routing is shape-disjoint, concatenation IS the merge — no
+// digest appears under two replicas. Unreachable replicas are skipped
+// (and marked down) so the fleet view degrades instead of failing.
+func (r *Router) handleShapes(w http.ResponseWriter, req *http.Request) {
+	type taggedShape = map[string]any
+	out := struct {
+		Shapes []taggedShape `json:"shapes"`
+	}{Shapes: []taggedShape{}}
+	for _, b := range r.replicas {
+		if !b.isHealthy() {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(req.Context(), r.timeout)
+		sub, err := http.NewRequestWithContext(ctx, http.MethodGet, b.name+"/v1/shapes", nil)
+		if err != nil {
+			cancel()
+			continue
+		}
+		resp, err := r.client.Do(sub)
+		if err != nil {
+			cancel()
+			r.markDown(b)
+			continue
+		}
+		var view struct {
+			Shapes []taggedShape `json:"shapes"`
+		}
+		err = json.NewDecoder(io.LimitReader(resp.Body, maxProxyBodyBytes)).Decode(&view)
+		resp.Body.Close()
+		cancel()
+		if err != nil {
+			r.logf("router: bad /v1/shapes from %s: %v", b.name, err)
+			continue
+		}
+		for _, sh := range view.Shapes {
+			sh["replica"] = b.name
+			out.Shapes = append(out.Shapes, sh)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// handleImportPlans broadcasts an external snapshot to the planning tier
+// and every healthy replica, answering with the planner's verdict.
+func (r *Router) handleImportPlans(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxProxyBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	r.broadcast(w, req, body)
+}
+
+// handleMutation broadcasts a catalog mutation and invalidates the
+// planned-shape memo: signatures embed catalog cardinalities, so plans for
+// the new catalog state must be re-shipped shape by shape.
+func (r *Router) handleMutation(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxProxyBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", err)
+		return
+	}
+	r.broadcast(w, req, body)
+	r.pushMu.Lock()
+	r.planned = map[string]struct{}{}
+	r.pushMu.Unlock()
+}
+
+// broadcast applies the request to the planning tier first (it must know
+// the catalog before it can plan for it), then to every healthy replica,
+// and relays the planner's response. A replica that fails the broadcast is
+// marked down — it must not keep serving with a diverged catalog — and is
+// logged loudly; it needs a catalog resync before rejoining.
+func (r *Router) broadcast(w http.ResponseWriter, req *http.Request, body []byte) {
+	plannerResp, err := r.send(req, r.planner, body)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "planner_unreachable", err)
+		return
+	}
+	for _, b := range r.healthyReplicas() {
+		resp, err := r.send(req, b.name, body)
+		if err != nil {
+			r.markDown(b)
+			r.logf("router: broadcast %s %s to %s failed (%v); replica needs a catalog resync", req.Method, req.URL.Path, b.name, err)
+			continue
+		}
+		if resp.status != plannerResp.status {
+			r.logf("router: broadcast %s %s: %s answered %d, planner %d", req.Method, req.URL.Path, b.name, resp.status, plannerResp.status)
+		}
+	}
+	if ct := plannerResp.contentType; ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(plannerResp.status)
+	w.Write(plannerResp.body)
+}
+
+type sentResponse struct {
+	status      int
+	contentType string
+	body        []byte
+}
+
+// send replays the request against one base URL, buffering the response.
+func (r *Router) send(req *http.Request, base string, body []byte) (*sentResponse, error) {
+	ctx, cancel := context.WithTimeout(req.Context(), r.timeout)
+	defer cancel()
+	u := base + req.URL.Path
+	if req.URL.RawQuery != "" {
+		u += "?" + req.URL.RawQuery
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	out, err := http.NewRequestWithContext(ctx, req.Method, u, rd)
+	if err != nil {
+		return nil, err
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	resp, err := r.client.Do(out)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	return &sentResponse{status: resp.StatusCode, contentType: resp.Header.Get("Content-Type"), body: b}, nil
+}
+
+// proxyTo forwards one request to a single base URL with no failover.
+func (r *Router) proxyTo(w http.ResponseWriter, req *http.Request, base string, body []byte) {
+	resp, err := r.send(req, base, body)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "planner_unreachable", err)
+		return
+	}
+	if ct := resp.contentType; ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.status)
+	w.Write(resp.body)
+}
+
+// ---- Router introspection ----
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (r *Router) handleInfo(w http.ResponseWriter, req *http.Request) {
+	type replicaInfo struct {
+		Name      string `json:"name"`
+		Healthy   bool   `json:"healthy"`
+		Watermark uint64 `json:"watermark"`
+	}
+	r.pushMu.Lock()
+	planned := len(r.planned)
+	reps := make([]replicaInfo, len(r.replicas))
+	for i, b := range r.replicas {
+		reps[i] = replicaInfo{Name: b.name, Healthy: b.isHealthy(), Watermark: r.watermarks[b.name]}
+	}
+	r.pushMu.Unlock()
+	sort.Slice(reps, func(i, j int) bool { return reps[i].Name < reps[j].Name })
+	writeJSON(w, http.StatusOK, map[string]any{
+		"role":           "router",
+		"planner":        r.planner,
+		"replicas":       reps,
+		"planned_shapes": planned,
+		"uptime_seconds": time.Since(r.start).Seconds(),
+	})
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	r.metrics.write(w, r)
+}

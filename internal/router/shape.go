@@ -1,0 +1,123 @@
+package router
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+
+	"panda"
+	"panda/internal/plan"
+	"panda/internal/query"
+)
+
+// The router shards by query SHAPE, and it must name a query's shape
+// without the catalog (it has no relations, no cardinalities) and without
+// an LP solve. The trick is that the renaming-invariant canonicalization
+// from internal/plan is a pure function of the parsed query and its
+// declared constraints — a dry run of the same permutation search the
+// planner's cache key uses, minus the completed per-atom cardinality
+// constraints the replicas add from their (identical, fleet-wide) catalog.
+// Two queries with the same execution-time signature digest therefore
+// always compute the same routing key here, so each execution digest lands
+// on exactly one replica: the shard-affinity invariant the e2e asserts.
+//
+// Disjunctive rules have no canonical signature (they are planned per rule,
+// not cached by shape); they are routed by a hash of their normalized text,
+// which is still deterministic across routers and sticky per rule.
+
+// shapeOf computes the routing key for a query text under a mode string
+// ("", auto, full, fhtw, subw). The boolean reports whether the query is
+// conjunctive — only conjunctive shapes participate in plan shipping.
+func shapeOf(src, mode string) (key string, conjunctive bool, err error) {
+	m, err := parseMode(mode)
+	if err != nil {
+		return "", false, err
+	}
+	res, err := query.Parse(src)
+	if err != nil {
+		return "", false, err
+	}
+	if res.Conj == nil {
+		h := fnv.New64a()
+		h.Write([]byte(strings.TrimSpace(src)))
+		return fmt.Sprintf("rule:%016x", h.Sum64()), false, nil
+	}
+	sig, err := plan.Canonicalize(res.Conj, res.Constraints, m)
+	if err != nil {
+		return "", false, err
+	}
+	return panda.SignatureDigest(sig.Key), true, nil
+}
+
+func parseMode(s string) (plan.Mode, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return plan.ModeAuto, nil
+	case "full":
+		return plan.ModeFull, nil
+	case "fhtw":
+		return plan.ModeFhtw, nil
+	case "subw":
+		return plan.ModeSubw, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q (want auto, full, fhtw or subw)", s)
+}
+
+// shapeCache memoizes (query text, mode) → routing shape so steady-state
+// traffic skips the canonicalization permutation search, mirroring the
+// replicas' exact-fingerprint fast path. Bounded LRU; safe for concurrent
+// use.
+type shapeCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List
+	index map[string]*list.Element
+}
+
+type shapeEntry struct {
+	text        string
+	key         string
+	conjunctive bool
+}
+
+// defaultShapeCacheSize bounds the router's text→shape memo table.
+const defaultShapeCacheSize = 4096
+
+func newShapeCache(capacity int) *shapeCache {
+	if capacity <= 0 {
+		capacity = defaultShapeCacheSize
+	}
+	return &shapeCache{cap: capacity, ll: list.New(), index: map[string]*list.Element{}}
+}
+
+// shape resolves src+mode through the memo table, canonicalizing on a miss.
+func (c *shapeCache) shape(src, mode string) (string, bool, error) {
+	memoKey := mode + "\x00" + src
+	c.mu.Lock()
+	if el, ok := c.index[memoKey]; ok {
+		c.ll.MoveToFront(el)
+		ent := el.Value.(*shapeEntry)
+		key, conj := ent.key, ent.conjunctive
+		c.mu.Unlock()
+		return key, conj, nil
+	}
+	c.mu.Unlock()
+
+	key, conj, err := shapeOf(src, mode)
+	if err != nil {
+		return "", false, err
+	}
+	c.mu.Lock()
+	if _, dup := c.index[memoKey]; !dup {
+		c.index[memoKey] = c.ll.PushFront(&shapeEntry{text: memoKey, key: key, conjunctive: conj})
+		for c.ll.Len() > c.cap {
+			victim := c.ll.Back()
+			c.ll.Remove(victim)
+			delete(c.index, victim.Value.(*shapeEntry).text)
+		}
+	}
+	c.mu.Unlock()
+	return key, conj, nil
+}

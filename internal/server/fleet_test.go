@@ -1,0 +1,214 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"panda"
+)
+
+// infoJSON mirrors the /v1/info body the fleet tier consumes.
+type infoJSON struct {
+	Name          string  `json:"name"`
+	FormatVersion int     `json:"format_version"`
+	PlanClock     uint64  `json:"plan_clock"`
+	PlansCached   int     `json:"plans_cached"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Planner       struct {
+		Hits          uint64 `json:"hits"`
+		Misses        uint64 `json:"misses"`
+		LPSolves      uint64 `json:"lp_solves"`
+		LPSolvesSaved uint64 `json:"lp_solves_saved"`
+	} `json:"planner"`
+	Replans struct {
+		Keys     uint64 `json:"keys"`
+		LPSolves uint64 `json:"lp_solves"`
+	} `json:"replans"`
+}
+
+func getInfo(t *testing.T, base string) infoJSON {
+	t.Helper()
+	code, body := get(t, base+"/v1/info")
+	if code != http.StatusOK {
+		t.Fatalf("/v1/info: %d %s", code, body)
+	}
+	var info infoJSON
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatalf("/v1/info is not valid JSON: %v\n%s", err, body)
+	}
+	return info
+}
+
+// TestHealthzAndInfo: the probe pair the router depends on. /healthz is 200
+// while serving and 503 once draining (the same admission gate every
+// endpoint shares); /v1/info reports identity, format version and the plan
+// clock that delta pulls are watermarked against.
+func TestHealthzAndInfo(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{Name: "replica-7"})
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz while serving: %d %s", code, body)
+	}
+
+	info := getInfo(t, ts.URL)
+	if info.Name != "replica-7" {
+		t.Fatalf("info name %q, want replica-7", info.Name)
+	}
+	if info.FormatVersion != panda.PlanFormatVersion {
+		t.Fatalf("info format_version %d, want %d", info.FormatVersion, panda.PlanFormatVersion)
+	}
+	if info.PlanClock != 0 || info.PlansCached != 0 {
+		t.Fatalf("fresh server clock=%d cached=%d, want 0/0", info.PlanClock, info.PlansCached)
+	}
+
+	q := panda.TriangleQuery()
+	ins := panda.RandomInstance(11, &q.Schema, 40, 10)
+	loadOverHTTP(t, ts.URL, &q.Schema, ins)
+	if code, raw := post(t, ts.URL+"/v1/query", fmt.Sprintf(`{"query":%q}`, triangleSrc)); code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, raw)
+	}
+	info = getInfo(t, ts.URL)
+	if info.PlanClock != 1 || info.PlansCached != 1 || info.Planner.Misses != 1 {
+		t.Fatalf("after one planned query: %+v, want clock=1 cached=1 misses=1", info)
+	}
+
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"code":"shutting_down"`) {
+		t.Fatalf("/healthz while draining: %d %s, want 503 shutting_down", code, body)
+	}
+}
+
+// TestExportPlansSince: GET /v1/plans?since=<clock> returns only the
+// entries installed after that clock, and the envelope's clock is the next
+// watermark — so a puller that chains envelope clocks sees each plan
+// exactly once.
+func TestExportPlansSince(t *testing.T) {
+	q := panda.TriangleQuery()
+	ins := panda.RandomInstance(11, &q.Schema, 40, 10)
+	_, ts, _ := newTestServer(t, Config{})
+	loadOverHTTP(t, ts.URL, &q.Schema, ins)
+
+	if code, raw := post(t, ts.URL+"/v1/query", fmt.Sprintf(`{"query":%q}`, triangleSrc)); code != http.StatusOK {
+		t.Fatalf("first shape: %d %s", code, raw)
+	}
+	c1 := getInfo(t, ts.URL).PlanClock
+
+	// A second, different shape (a path join) installs a second plan.
+	if code, raw := post(t, ts.URL+"/v1/query", `{"query":"Q(X,Z) :- R(X,Y), S(Y,Z)."}`); code != http.StatusOK {
+		t.Fatalf("second shape: %d %s", code, raw)
+	}
+
+	type envJSON struct {
+		Clock   uint64            `json:"clock"`
+		Entries []json.RawMessage `json:"entries"`
+	}
+	fetch := func(url string) envJSON {
+		t.Helper()
+		code, body := get(t, url)
+		if code != http.StatusOK {
+			t.Fatalf("export %s: %d %s", url, code, body)
+		}
+		var env envJSON
+		if err := json.Unmarshal([]byte(body), &env); err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	full := fetch(ts.URL + "/v1/plans")
+	if len(full.Entries) != 2 || full.Clock != 2 {
+		t.Fatalf("full export: %d entries clock %d, want 2/2", len(full.Entries), full.Clock)
+	}
+	delta := fetch(fmt.Sprintf("%s/v1/plans?since=%d", ts.URL, c1))
+	if len(delta.Entries) != 1 || delta.Clock != 2 {
+		t.Fatalf("delta since %d: %d entries clock %d, want 1/2", c1, len(delta.Entries), delta.Clock)
+	}
+	empty := fetch(fmt.Sprintf("%s/v1/plans?since=%d", ts.URL, delta.Clock))
+	if len(empty.Entries) != 0 {
+		t.Fatalf("delta at the watermark returned %d entries, want 0", len(empty.Entries))
+	}
+
+	if code, body := get(t, ts.URL+"/v1/plans?since=banana"); code != http.StatusBadRequest {
+		t.Fatalf("bad since: %d %s, want 400", code, body)
+	}
+}
+
+// TestImportVersionMismatchRepansInBackground: the cross-version migration
+// shim end to end. A snapshot with a bumped FormatVersion is rejected with
+// the dropped signature keys listed, the server re-plans those keys in the
+// background, and once the rebuild lands the original query (planned under
+// the OLD snapshot) is a pure cache hit — no traffic-time LP solves.
+func TestImportVersionMismatchRepansInBackground(t *testing.T) {
+	q := panda.TriangleQuery()
+	ins := panda.RandomInstance(11, &q.Schema, 40, 10)
+	_, tsA, _ := newTestServer(t, Config{})
+	loadOverHTTP(t, tsA.URL, &q.Schema, ins)
+	if code, raw := post(t, tsA.URL+"/v1/query", fmt.Sprintf(`{"query":%q}`, triangleSrc)); code != http.StatusOK {
+		t.Fatalf("seed query: %d %s", code, raw)
+	}
+	code, snapshot := get(t, tsA.URL+"/v1/plans")
+	if code != http.StatusOK {
+		t.Fatal("export failed")
+	}
+	var env cacheSnapshotJSON
+	if err := json.Unmarshal([]byte(snapshot), &env); err != nil {
+		t.Fatal(err)
+	}
+	env.Version = panda.PlanFormatVersion + 1
+	bad, err := json.Marshal(&env)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, tsB, dbB := newTestServer(t, Config{})
+	loadOverHTTP(t, tsB.URL, &q.Schema, ins)
+	code, body := putPlans(t, tsB.URL, string(bad))
+	if code != http.StatusUnprocessableEntity || !strings.Contains(body, `"code":"plan_version"`) {
+		t.Fatalf("import: %d %s, want 422 plan_version", code, body)
+	}
+	var resp struct {
+		SkippedKeys []string `json:"skipped_keys"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.SkippedKeys) != 1 || resp.SkippedKeys[0] != env.Entries[0].Key {
+		t.Fatalf("skipped_keys %q, want [%q]", resp.SkippedKeys, env.Entries[0].Key)
+	}
+
+	// The background replan is asynchronous; wait for it to land.
+	deadline := time.Now().Add(10 * time.Second)
+	var info infoJSON
+	for {
+		info = getInfo(t, tsB.URL)
+		if info.Replans.Keys >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background replan never landed: %+v", info)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if info.Replans.LPSolves == 0 || info.PlansCached != 1 {
+		t.Fatalf("replan stats %+v, want lp_solves > 0 and one cached plan", info)
+	}
+
+	// The replanned signature now serves the original query — and a
+	// renaming of it — with zero additional LP solves.
+	lpBefore := dbB.PlannerStats().LPSolves
+	for _, src := range []string{triangleSrc, `Q(X,Y,Z) :- R(X,Y), S(Y,Z), T(X,Z).`} {
+		if code, raw := post(t, tsB.URL+"/v1/query", fmt.Sprintf(`{"query":%q}`, src)); code != http.StatusOK {
+			t.Fatalf("post-replan query %q: %d %s", src, code, raw)
+		}
+	}
+	st := dbB.PlannerStats()
+	if st.LPSolves != lpBefore || st.Hits < 2 {
+		t.Fatalf("post-replan traffic was not free: lp %d→%d hits %d", lpBefore, st.LPSolves, st.Hits)
+	}
+}

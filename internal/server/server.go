@@ -39,12 +39,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"panda"
@@ -80,6 +83,10 @@ type Config struct {
 	// Pprof mounts net/http/pprof under /debug/pprof/ when set. Off by
 	// default: the profile endpoints expose internals and can be costly.
 	Pprof bool
+	// Name is the replica identity /v1/info reports; useful when many
+	// pandad processes sit behind a router and an operator needs to know
+	// which one answered. Empty is fine for single-process deployments.
+	Name string
 }
 
 // Server is the HTTP handler. Create one with New; it is safe for
@@ -91,6 +98,16 @@ type Server struct {
 	stmts       *stmtCache
 	metrics     *metrics
 	mux         *http.ServeMux
+	name        string
+	start       time.Time
+
+	// Background re-planning (the cross-version migration shim): when an
+	// import drops entries for a FormatVersion mismatch, their signature
+	// keys are re-planned off the request path. replanWG is drained by
+	// Shutdown so a terminating process never abandons half a migration.
+	replanWG     sync.WaitGroup
+	replanKeys   atomic.Uint64 // signatures rebuilt in the background
+	replanSolves atomic.Uint64 // LP solves those rebuilds paid
 
 	slowThreshold time.Duration
 	slowMu        sync.Mutex
@@ -117,6 +134,8 @@ func New(cfg Config) *Server {
 		mux:           http.NewServeMux(),
 		slowThreshold: cfg.SlowQueryThreshold,
 		slowLog:       cfg.SlowQueryLog,
+		name:          cfg.Name,
+		start:         time.Now(),
 	}
 	if s.slowThreshold > 0 && s.slowLog == nil {
 		s.slowLog = os.Stderr
@@ -132,6 +151,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/relations/{name}/csv", s.wrap("csv", s.handleLoadCSV))
 	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/shapes", s.wrap("shapes", s.handleShapes))
+	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/info", s.wrap("info", s.handleInfo))
 	if cfg.Pprof {
 		// Debug endpoints stay outside the metrics/drain middleware: they
 		// are operator tools, not traffic.
@@ -157,6 +178,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.inflight.Wait()
+		s.replanWG.Wait()
 		close(done)
 	}()
 	select {
@@ -607,10 +629,23 @@ func (s *Server) handleShapes(w http.ResponseWriter, r *http.Request) {
 
 // handleExportPlans streams the session's plan cache as one
 // panda-plan-cache snapshot — the same bytes a pandad -plan-dir snapshot
-// writes to disk, so routers and replicas need exactly one format.
+// writes to disk, so routers and replicas need exactly one format. An
+// optional ?since=<clock> exports only the entries installed after that
+// cache clock (see /v1/info plan_clock and the envelope's "clock" field);
+// the fleet push loop pulls successive deltas with it so each push is
+// proportional to what was planned since the last one.
 func (s *Server) handleExportPlans(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		v, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			s.fail(w, fmt.Errorf("bad since parameter %q: %w", raw, err))
+			return
+		}
+		since = v
+	}
 	w.Header().Set("Content-Type", "application/json")
-	if err := s.db.SavePlans(w); err != nil {
+	if err := s.db.SavePlansSince(w, since); err != nil {
 		// Headers are already out; all we can do is log through the status.
 		s.fail(w, err)
 	}
@@ -636,10 +671,77 @@ func (s *Server) handleImportPlans(w http.ResponseWriter, r *http.Request) {
 	if stats.Skipped > 0 {
 		body["error"] = stats.FirstErr.Error()
 		body["code"] = codeOf(stats.FirstErr)
+		if len(stats.SkippedKeys) > 0 {
+			body["skipped_keys"] = stats.SkippedKeys
+			// The cross-version migration shim: a FormatVersion mismatch
+			// dropped decodable keys, so rebuild them off the request path
+			// rather than letting traffic re-pay their LP solves one cold
+			// miss at a time. The key list is already bounded by the load
+			// stats cap, and Shutdown waits for the rebuild.
+			if errors.Is(stats.FirstErr, panda.ErrPlanVersion) {
+				s.backgroundReplan(stats.SkippedKeys)
+			}
+		}
 		writeJSON(w, http.StatusUnprocessableEntity, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, body)
+}
+
+// backgroundReplan rebuilds the given signature keys asynchronously,
+// logging the outcome and counting the work into the /v1/info replan
+// stats. Keys already cached are free no-ops, so concurrent or repeated
+// imports of the same stale snapshot do not multiply LP work.
+func (s *Server) backgroundReplan(keys []string) {
+	s.replanWG.Add(1)
+	go func() {
+		defer s.replanWG.Done()
+		done, solves, err := s.db.ReplanSignatures(context.Background(), keys)
+		s.replanKeys.Add(uint64(done))
+		s.replanSolves.Add(uint64(solves))
+		if err != nil {
+			log.Printf("pandad: background replan: %d/%d signatures rebuilt (%d LP solves), aborted: %v", done, len(keys), solves, err)
+			return
+		}
+		log.Printf("pandad: background replan: %d signatures rebuilt (%d LP solves)", done, solves)
+	}()
+}
+
+// ---- /healthz and /v1/info ----
+
+// handleHealthz is the router's readiness probe: 200 while serving. The
+// drain path never reaches this handler — wrap answers 503 for every
+// endpoint once Shutdown begins — so "reachable and admitted" IS the
+// health signal, with no state to consult here.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleInfo reports process identity for the fleet tier: who this replica
+// is, which plan wire format it speaks, how far its plan cache clock has
+// advanced (the delta-pull watermark), and the planner counters the router
+// e2e asserts on.
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	st := s.db.PlannerStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":           s.name,
+		"format_version": panda.PlanFormatVersion,
+		"plan_clock":     s.db.PlanClock(),
+		"plans_cached":   s.db.Planner().Len(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"planner": map[string]any{
+			"hits":            st.Hits,
+			"misses":          st.Misses,
+			"evictions":       st.Evictions,
+			"lp_solves":       st.LPSolves,
+			"lp_solves_saved": st.LPSolvesSaved,
+			"plans_built":     st.PlansBuilt,
+		},
+		"replans": map[string]any{
+			"keys":      s.replanKeys.Load(),
+			"lp_solves": s.replanSolves.Load(),
+		},
+	})
 }
 
 // ---- Catalog endpoints ----

@@ -122,6 +122,20 @@ func (pl *Planner) Len() int { return pl.inner.Len() }
 // previously planned queries are answered with zero LP solves.
 func (pl *Planner) SaveCache(w io.Writer) error { return pl.inner.SaveCache(w) }
 
+// SaveCacheSince writes only the plans installed after the given cache
+// clock (a full snapshot when since = 0); the envelope records the clock
+// the selection was made at, so a consumer importing successive deltas and
+// remembering each envelope's clock sees every entry exactly once. This is
+// the incremental seam the fleet push loop rides.
+func (pl *Planner) SaveCacheSince(w io.Writer, since uint64) error {
+	return pl.inner.SaveCacheSince(w, since)
+}
+
+// CacheClock reports the planner's cache clock: a monotone count of entry
+// installs (fresh builds plus imports). It never moves backwards, so it is
+// safe to use as a remote delta watermark.
+func (pl *Planner) CacheClock() uint64 { return pl.inner.CacheClock() }
+
 // LoadCache reads a panda-plan-cache snapshot from r. Individual entries
 // are skipped (never fatal) on a format-version or digest mismatch or a
 // malformed payload, and keys the cache already holds count as benign
