@@ -21,6 +21,7 @@ type routerMetrics struct {
 	routed        map[routeKey]uint64
 	routedShapes  map[string]bool
 	failovers     map[string]uint64 // replica → times marked down
+	quarantines   map[string]uint64 // replica → times quarantined for a lagging catalog
 	pushEntries   map[string]uint64 // replica → plan entries pushed
 	retries       uint64
 	noHealthy     uint64
@@ -49,6 +50,7 @@ func newRouterMetrics() *routerMetrics {
 		routed:       map[routeKey]uint64{},
 		routedShapes: map[string]bool{},
 		failovers:    map[string]uint64{},
+		quarantines:  map[string]uint64{},
 		pushEntries:  map[string]uint64{},
 	}
 }
@@ -79,6 +81,12 @@ func (m *routerMetrics) addFailover(replica string) {
 	m.failovers[replica]++
 }
 
+func (m *routerMetrics) addQuarantine(replica string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.quarantines[replica]++
+}
+
 func (m *routerMetrics) addPushEntries(replica string, n uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -106,6 +114,10 @@ func (m *routerMetrics) write(w io.Writer, r *Router) {
 	failovers := make(map[string]uint64, len(m.failovers))
 	for k, v := range m.failovers {
 		failovers[k] = v
+	}
+	quarantines := make(map[string]uint64, len(m.quarantines))
+	for k, v := range m.quarantines {
+		quarantines[k] = v
 	}
 	pushEntries := make(map[string]uint64, len(m.pushEntries))
 	for k, v := range m.pushEntries {
@@ -172,6 +184,15 @@ func (m *routerMetrics) write(w io.Writer, r *Router) {
 		fmt.Fprintf(w, "panda_router_replica_healthy{replica=%q} %d\n", b.name, v)
 	}
 
+	fmt.Fprintf(w, "# HELP panda_router_replica_routable Whether traffic may be routed to the replica (1 = live and catalog in sync with the planner, 0 = down or quarantined).\n# TYPE panda_router_replica_routable gauge\n")
+	for _, b := range r.replicas {
+		v := 0
+		if b.isRoutable() {
+			v = 1
+		}
+		fmt.Fprintf(w, "panda_router_replica_routable{replica=%q} %d\n", b.name, v)
+	}
+
 	fmt.Fprintf(w, "# HELP panda_router_failovers_total Times a replica was marked down (probe failure or in-request error).\n# TYPE panda_router_failovers_total counter\n")
 	names := make([]string, 0, len(failovers))
 	for k := range failovers {
@@ -180,6 +201,16 @@ func (m *routerMetrics) write(w io.Writer, r *Router) {
 	sort.Strings(names)
 	for _, k := range names {
 		fmt.Fprintf(w, "panda_router_failovers_total{replica=%q} %d\n", k, failovers[k])
+	}
+
+	fmt.Fprintf(w, "# HELP panda_router_quarantines_total Times a replica was quarantined for a catalog that lags the planning tier (missed mutation broadcast or stale restart).\n# TYPE panda_router_quarantines_total counter\n")
+	names = names[:0]
+	for k := range quarantines {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(w, "panda_router_quarantines_total{replica=%q} %d\n", k, quarantines[k])
 	}
 
 	fmt.Fprintf(w, "# HELP panda_router_push_entries_total Plan-cache entries pushed to each replica by the delta loop.\n# TYPE panda_router_push_entries_total counter\n")

@@ -32,7 +32,15 @@
 // Catalog mutations (relation create/drop, row/CSV ingest) are broadcast —
 // planning tier first, then every replica — because plan signatures embed
 // catalog cardinalities: after a mutation the planned-shape memo is
-// dropped and the next query per shape re-warms and re-ships.
+// dropped and the next query per shape re-warms and re-ships. A replica
+// that misses a broadcast (down at the time, transport error, or a
+// non-planner answer) has a diverged catalog and MUST NOT silently rejoin:
+// every pandad counts its applied mutations as a catalog epoch reported on
+// /healthz, and the probe loop quarantines any live replica whose epoch
+// lags the planning tier's until it catches up (i.e. until an operator
+// resyncs it — the resync mechanism itself is a recorded ROADMAP seam).
+// A broadcast failure quarantines the replica immediately, without waiting
+// for the next probe round.
 package router
 
 import (
@@ -46,6 +54,7 @@ import (
 	"net/url"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -70,12 +79,26 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// staleThreshold is how many consecutive probe rounds must observe a
+// replica's catalog epoch behind the planner's before the replica is
+// quarantined. One round of grace absorbs the probe that lands between a
+// broadcast's planner leg and its replica legs (a real missed broadcast
+// stays behind forever and trips the threshold on the next round); a
+// broadcast failure skips the grace and quarantines immediately.
+const staleThreshold = 2
+
 // backend is one replica: its rendezvous identity plus live health state.
 type backend struct {
 	name string // base URL; also the rendezvous hash identity
 
 	mu      sync.Mutex
 	healthy bool
+	// epoch is the catalog epoch the replica reported on its last probe.
+	epoch uint64
+	// staleRounds counts consecutive probe rounds with epoch behind the
+	// planner's; at staleThreshold the replica is quarantined (live but
+	// unroutable: it missed a catalog mutation and needs a resync).
+	staleRounds int
 }
 
 func (b *backend) isHealthy() bool {
@@ -84,13 +107,57 @@ func (b *backend) isHealthy() bool {
 	return b.healthy
 }
 
-// setHealthy flips the state, reporting whether it changed.
+// isRoutable reports whether traffic may be sent to the replica: it must
+// be live AND its catalog must not be known to lag the planning tier's.
+func (b *backend) isRoutable() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy && b.staleRounds < staleThreshold
+}
+
+// setHealthy flips the liveness state, reporting whether it changed.
 func (b *backend) setHealthy(v bool) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	changed := b.healthy != v
 	b.healthy = v
 	return changed
+}
+
+// setProbed records one probe observation against the planner's catalog
+// epoch. It reports whether the replica just crossed into, or out of,
+// quarantine. A replica AHEAD of the planner is not quarantined: that
+// means the planner itself restarted with an older catalog, which is a
+// planner problem (logged by the caller), not grounds to stop serving.
+func (b *backend) setProbed(epoch, plannerEpoch uint64) (quarantined, recovered bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	before := b.staleRounds >= staleThreshold
+	b.epoch = epoch
+	if epoch < plannerEpoch {
+		b.staleRounds++
+	} else {
+		b.staleRounds = 0
+	}
+	after := b.staleRounds >= staleThreshold
+	return !before && after, before && !after
+}
+
+// forceStale quarantines the replica immediately (a broadcast to it
+// failed, so the router KNOWS its catalog diverged — no probe grace).
+// It reports whether the state changed.
+func (b *backend) forceStale() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	changed := b.staleRounds < staleThreshold
+	b.staleRounds = staleThreshold
+	return changed
+}
+
+func (b *backend) state() (healthy bool, epoch uint64, stale bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy, b.epoch, b.staleRounds >= staleThreshold
 }
 
 // Router is the HTTP handler. Create one with New, stop it with Close.
@@ -105,18 +172,33 @@ type Router struct {
 	mux      *http.ServeMux
 	start    time.Time
 
+	// plannerEpoch is the planning tier's catalog epoch as last probed;
+	// replicas whose epoch lags it are quarantined.
+	plannerEpoch atomic.Uint64
+
 	// pushMu serializes plan-shipping cycles (first-sighting ensures and
-	// the background loop); watermarks and planned are owned by it.
+	// the background loop); watermarks is owned by it. It is never held
+	// across the planner warm-up HTTP call, only across the delta
+	// pull/push itself.
 	pushMu sync.Mutex
 	// watermarks maps replica name → the planner cache clock whose
 	// entries that replica has already imported; the next delta pull asks
 	// the planner for ?since=min(watermarks).
 	watermarks map[string]uint64
+
+	// plannedMu guards the planned memo and the in-flight warm-up table.
+	// It is only ever held for map operations — memoized shapes check it
+	// and move on without waiting behind any HTTP work.
+	plannedMu sync.Mutex
 	// planned memoizes routing shapes known to be planned fleet-wide;
 	// dropped wholesale on catalog mutations (signatures embed
 	// cardinalities) and when it outgrows plannedCap.
 	planned    map[string]struct{}
 	plannedCap int
+	// warming single-flights planner warm-ups per shape: the first sighting
+	// runs the warm-up, concurrent sightings of the SAME shape wait on its
+	// channel (bounded by their own deadline), other shapes proceed.
+	warming map[string]chan struct{}
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -166,6 +248,7 @@ func New(cfg Config) (*Router, error) {
 		watermarks: map[string]uint64{},
 		planned:    map[string]struct{}{},
 		plannedCap: defaultPlannedCap,
+		warming:    map[string]chan struct{}{},
 		stop:       make(chan struct{}),
 	}
 	seen := map[string]bool{}
@@ -258,9 +341,26 @@ func (r *Router) probeLoop(every time.Duration) {
 	}
 }
 
+// probeAll runs one health round: the planning tier's catalog epoch is
+// read first, then every replica's liveness AND epoch. A live replica
+// whose epoch lags the planner's for staleThreshold consecutive rounds is
+// quarantined — it missed a catalog mutation (the code path that marked it
+// down has no way to replay the mutation) and answering 200 on /healthz is
+// NOT evidence it caught up, so it stays out of rotation until its epoch
+// matches again.
 func (r *Router) probeAll() {
+	if plannerUp, epoch := r.probe(r.planner); plannerUp {
+		if prev := r.plannerEpoch.Swap(epoch); epoch < prev {
+			// The planner came back with an older catalog than the fleet
+			// has applied. Replicas are NOT quarantined for being ahead —
+			// that would turn a planner restart into a total outage — but
+			// fresh plans may now disagree with replica catalogs.
+			r.logf("router: planner catalog epoch regressed %d → %d (planner restart with a stale catalog?)", prev, epoch)
+		}
+	}
+	plannerEpoch := r.plannerEpoch.Load()
 	for _, b := range r.replicas {
-		healthy := r.probe(b.name)
+		healthy, epoch := r.probe(b.name)
 		if b.setHealthy(healthy) {
 			if healthy {
 				r.logf("router: replica %s is back", b.name)
@@ -269,24 +369,42 @@ func (r *Router) probeAll() {
 				r.metrics.addFailover(b.name)
 			}
 		}
+		if !healthy {
+			continue
+		}
+		quarantined, recovered := b.setProbed(epoch, plannerEpoch)
+		if quarantined {
+			r.logf("router: replica %s is live but its catalog epoch %d lags the planner's %d; quarantined until resynced", b.name, epoch, plannerEpoch)
+			r.metrics.addQuarantine(b.name)
+		}
+		if recovered {
+			r.logf("router: replica %s caught up to catalog epoch %d; back in rotation", b.name, epoch)
+		}
 	}
 }
 
-// probe asks one backend's /healthz with a short deadline.
-func (r *Router) probe(base string) bool {
+// probe asks one base URL's /healthz with a short deadline, reporting
+// liveness and the catalog epoch the body carries (0 when absent — older
+// pandads and the unit-test stubs omit it, which compares as "never
+// mutated" and is exactly right for them).
+func (r *Router) probe(base string) (bool, uint64) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
 	if err != nil {
-		return false
+		return false, 0
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		return false
+		return false, 0
 	}
+	var hb struct {
+		CatalogEpoch uint64 `json:"catalog_epoch"`
+	}
+	json.NewDecoder(io.LimitReader(resp.Body, 1<<12)).Decode(&hb)
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode == http.StatusOK
+	return resp.StatusCode == http.StatusOK, hb.CatalogEpoch
 }
 
 // markDown records an in-request health discovery (transport error or 503
@@ -299,10 +417,12 @@ func (r *Router) markDown(b *backend) {
 	}
 }
 
-func (r *Router) healthyReplicas() []*backend {
+// routableReplicas are the replicas traffic, broadcasts and plan pushes go
+// to: live and not quarantined for a lagging catalog.
+func (r *Router) routableReplicas() []*backend {
 	out := make([]*backend, 0, len(r.replicas))
 	for _, b := range r.replicas {
-		if b.isHealthy() {
+		if b.isRoutable() {
 			out = append(out, b)
 		}
 	}
@@ -329,9 +449,11 @@ func (r *Router) pushLoop(every time.Duration) {
 		case <-r.stop:
 			return
 		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), r.timeout)
 			r.pushMu.Lock()
-			r.pullAndPush(context.Background())
+			r.pullAndPush(ctx)
 			r.pushMu.Unlock()
+			cancel()
 		}
 	}
 }
@@ -339,17 +461,48 @@ func (r *Router) pushLoop(every time.Duration) {
 // ensurePlanned makes a first-sighted conjunctive shape safe to route:
 // the planning tier is warmed synchronously (it pays the LP solves on its
 // own cache miss), its fresh plans are delta-pulled and pushed to every
-// healthy replica, and the shape is memoized. Replicas therefore see the
+// routable replica, and the shape is memoized. Replicas therefore see the
 // plan arrive BEFORE the query does and never plan themselves. Planner
 // trouble degrades gracefully: the query still routes (the replica would
 // plan as a last resort) and the shape stays un-memoized so the next
 // sighting retries the warm-up.
+//
+// Warm-ups are single-flighted PER SHAPE and every planner interaction
+// here runs under the router's proxy timeout, so a hung planner
+// connection can stall at most the queries of the one shape being warmed
+// — memoized shapes take the fast path without waiting behind any HTTP
+// work, and concurrent sightings of the warming shape give up at their
+// deadline instead of queueing behind the client's disconnect.
 func (r *Router) ensurePlanned(ctx context.Context, shape, src, mode string) {
-	r.pushMu.Lock()
-	defer r.pushMu.Unlock()
+	ctx, cancel := context.WithTimeout(ctx, r.timeout)
+	defer cancel()
+	r.plannedMu.Lock()
 	if _, ok := r.planned[shape]; ok {
+		r.plannedMu.Unlock()
 		return
 	}
+	if ch, ok := r.warming[shape]; ok {
+		r.plannedMu.Unlock()
+		// Another request is warming this exact shape; wait for it (so the
+		// plan reaches the replica before our query does) but no longer
+		// than our own deadline. Either way the query then routes: if the
+		// warm-up failed, the replica plans as a last resort.
+		select {
+		case <-ch:
+		case <-ctx.Done():
+		}
+		return
+	}
+	ch := make(chan struct{})
+	r.warming[shape] = ch
+	r.plannedMu.Unlock()
+	defer func() {
+		r.plannedMu.Lock()
+		delete(r.warming, shape)
+		r.plannedMu.Unlock()
+		close(ch)
+	}()
+
 	u := r.planner + "/v1/plan?q=" + url.QueryEscape(src)
 	if mode != "" {
 		u += "&mode=" + url.QueryEscape(mode)
@@ -374,22 +527,43 @@ func (r *Router) ensurePlanned(ctx context.Context, shape, src, mode string) {
 		return
 	}
 	r.metrics.addEnsure()
+	r.pushMu.Lock()
 	r.pullAndPush(ctx)
+	r.pushMu.Unlock()
+	r.plannedMu.Lock()
 	if len(r.planned) >= r.plannedCap {
 		r.planned = map[string]struct{}{}
 	}
 	r.planned[shape] = struct{}{}
+	r.plannedMu.Unlock()
 }
 
-// pullAndPush pulls one delta from the planner (since the oldest healthy
-// replica watermark) and imports it into every healthy replica that is
+// pullAndPush pulls one delta from the planner (since the oldest routable
+// replica watermark) and imports it into every routable replica that is
 // behind the delta's clock. Over-delivery is harmless — imports never
 // clobber live entries and duplicates are counted, not rejected — so one
 // pull serves replicas at different watermarks. Caller holds pushMu.
+//
+// The planner's cache clock is in-memory and restarts near 0, while the
+// router's watermarks only ever advance — so after a planner restart every
+// watermark exceeds the planner's clock, deltas come back empty (or get
+// skipped by the watermark guards) and newly planned shapes would never
+// ship again, silently pushing replicas back onto their own LP solves. A
+// pulled clock BELOW `since` can only mean such a restart: the watermarks
+// are reset to 0 and the pull retried once so the full cache re-ships.
 func (r *Router) pullAndPush(ctx context.Context) {
-	replicas := r.healthyReplicas()
+	if done := r.pullAndPushOnce(ctx); !done {
+		r.pullAndPushOnce(ctx)
+	}
+}
+
+// pullAndPushOnce runs one pull/push cycle; it reports false only when a
+// planner clock regression was detected and the watermarks were reset, in
+// which case the caller retries with the fresh state.
+func (r *Router) pullAndPushOnce(ctx context.Context) bool {
+	replicas := r.routableReplicas()
 	if len(replicas) == 0 {
-		return
+		return true
 	}
 	since := r.watermarks[replicas[0].name]
 	for _, b := range replicas[1:] {
@@ -399,18 +573,18 @@ func (r *Router) pullAndPush(ctx context.Context) {
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf("%s/v1/plans?since=%d", r.planner, since), nil)
 	if err != nil {
-		return
+		return true
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		r.metrics.addPlannerError()
-		return
+		return true
 	}
 	body, err := io.ReadAll(io.LimitReader(resp.Body, maxProxyBodyBytes))
 	resp.Body.Close()
 	if err != nil || resp.StatusCode != http.StatusOK {
 		r.metrics.addPlannerError()
-		return
+		return true
 	}
 	var env struct {
 		Clock   uint64            `json:"clock"`
@@ -418,7 +592,14 @@ func (r *Router) pullAndPush(ctx context.Context) {
 	}
 	if err := json.Unmarshal(body, &env); err != nil {
 		r.metrics.addPlannerError()
-		return
+		return true
+	}
+	if env.Clock < since {
+		r.logf("router: planner cache clock regressed to %d (watermarks reached %d): planner restart, re-shipping the full cache", env.Clock, since)
+		for name := range r.watermarks {
+			r.watermarks[name] = 0
+		}
+		return false
 	}
 	if len(env.Entries) == 0 {
 		// Nothing new: advance watermarks to the planner's clock so the
@@ -428,7 +609,7 @@ func (r *Router) pullAndPush(ctx context.Context) {
 				r.watermarks[b.name] = env.Clock
 			}
 		}
-		return
+		return true
 	}
 	r.metrics.addPush()
 	for _, b := range replicas {
@@ -458,6 +639,7 @@ func (r *Router) pullAndPush(ctx context.Context) {
 			}
 		}
 	}
+	return true
 }
 
 // ---- Query / plan routing ----
@@ -467,10 +649,26 @@ type queryBody struct {
 	Mode  string `json:"mode"`
 }
 
-func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+// readBody buffers a bounded request body. An oversized body is answered
+// 413 with its own stable code (matching pandad's import-cap convention);
+// any other read failure is a plain 400.
+func readBody(w http.ResponseWriter, req *http.Request) ([]byte, bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxProxyBodyBytes))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err)
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeError(w, http.StatusRequestEntityTooLarge, "body_too_large", err)
+		} else {
+			writeError(w, http.StatusBadRequest, "bad_request", err)
+		}
+		return nil, false
+	}
+	return body, true
+}
+
+func (r *Router) handleQuery(w http.ResponseWriter, req *http.Request) {
+	body, ok := readBody(w, req)
+	if !ok {
 		return
 	}
 	// Lenient decode: the router only needs the routing fields; the
@@ -519,7 +717,7 @@ func (r *Router) routeWithFailover(w http.ResponseWriter, req *http.Request, sha
 	attempts := 0
 	for _, name := range Rank(names, shape) {
 		b := r.backendByName(name)
-		if !b.isHealthy() {
+		if !b.isRoutable() {
 			continue
 		}
 		if attempts > 0 {
@@ -646,9 +844,8 @@ func (r *Router) handleShapes(w http.ResponseWriter, req *http.Request) {
 // handleImportPlans broadcasts an external snapshot to the planning tier
 // and every healthy replica, answering with the planner's verdict.
 func (r *Router) handleImportPlans(w http.ResponseWriter, req *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxProxyBodyBytes))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err)
+	body, ok := readBody(w, req)
+	if !ok {
 		return
 	}
 	r.broadcast(w, req, body)
@@ -658,37 +855,44 @@ func (r *Router) handleImportPlans(w http.ResponseWriter, req *http.Request) {
 // planned-shape memo: signatures embed catalog cardinalities, so plans for
 // the new catalog state must be re-shipped shape by shape.
 func (r *Router) handleMutation(w http.ResponseWriter, req *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxProxyBodyBytes))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_request", err)
+	body, ok := readBody(w, req)
+	if !ok {
 		return
 	}
 	r.broadcast(w, req, body)
-	r.pushMu.Lock()
+	r.plannedMu.Lock()
 	r.planned = map[string]struct{}{}
-	r.pushMu.Unlock()
+	r.plannedMu.Unlock()
 }
 
 // broadcast applies the request to the planning tier first (it must know
-// the catalog before it can plan for it), then to every healthy replica,
-// and relays the planner's response. A replica that fails the broadcast is
-// marked down — it must not keep serving with a diverged catalog — and is
-// logged loudly; it needs a catalog resync before rejoining.
+// the catalog before it can plan for it), then to every routable replica,
+// and relays the planner's response. A replica that misses a mutation the
+// planner applied — transport error, or any answer when the planner said
+// 2xx and the replica did not — is serving a diverged catalog, so it is
+// quarantined ON THE SPOT: marked down AND forced stale, which keeps the
+// probe loop from auto-rejoining it on the next 200 /healthz. Its epoch
+// stays behind the planner's, so it remains quarantined until a catalog
+// resync brings the epochs back together.
 func (r *Router) broadcast(w http.ResponseWriter, req *http.Request, body []byte) {
 	plannerResp, err := r.send(req, r.planner, body)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, "planner_unreachable", err)
 		return
 	}
-	for _, b := range r.healthyReplicas() {
+	plannerApplied := plannerResp.status < 300
+	for _, b := range r.routableReplicas() {
 		resp, err := r.send(req, b.name, body)
 		if err != nil {
 			r.markDown(b)
-			r.logf("router: broadcast %s %s to %s failed (%v); replica needs a catalog resync", req.Method, req.URL.Path, b.name, err)
+			r.quarantine(b, fmt.Sprintf("broadcast %s %s failed: %v", req.Method, req.URL.Path, err), plannerApplied)
 			continue
 		}
 		if resp.status != plannerResp.status {
 			r.logf("router: broadcast %s %s: %s answered %d, planner %d", req.Method, req.URL.Path, b.name, resp.status, plannerResp.status)
+			if plannerApplied && resp.status >= 300 {
+				r.quarantine(b, fmt.Sprintf("broadcast %s %s answered %d while the planner applied it", req.Method, req.URL.Path, resp.status), true)
+			}
 		}
 	}
 	if ct := plannerResp.contentType; ct != "" {
@@ -696,6 +900,20 @@ func (r *Router) broadcast(w http.ResponseWriter, req *http.Request, body []byte
 	}
 	w.WriteHeader(plannerResp.status)
 	w.Write(plannerResp.body)
+}
+
+// quarantine forces a replica out of rotation after a missed broadcast.
+// When the planner did not actually apply the mutation either, nothing
+// diverged — the replica is only logged, not quarantined.
+func (r *Router) quarantine(b *backend, why string, diverged bool) {
+	if !diverged {
+		r.logf("router: replica %s: %s (planner rejected it too; catalogs agree)", b.name, why)
+		return
+	}
+	if b.forceStale() {
+		r.logf("router: replica %s: %s; quarantined until its catalog is resynced", b.name, why)
+		r.metrics.addQuarantine(b.name)
+	}
 }
 
 type sentResponse struct {
@@ -757,24 +975,36 @@ func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
 
 func (r *Router) handleInfo(w http.ResponseWriter, req *http.Request) {
 	type replicaInfo struct {
-		Name      string `json:"name"`
-		Healthy   bool   `json:"healthy"`
-		Watermark uint64 `json:"watermark"`
+		Name         string `json:"name"`
+		Healthy      bool   `json:"healthy"`
+		Quarantined  bool   `json:"quarantined"`
+		CatalogEpoch uint64 `json:"catalog_epoch"`
+		Watermark    uint64 `json:"watermark"`
 	}
-	r.pushMu.Lock()
+	r.plannedMu.Lock()
 	planned := len(r.planned)
+	r.plannedMu.Unlock()
+	r.pushMu.Lock()
 	reps := make([]replicaInfo, len(r.replicas))
 	for i, b := range r.replicas {
-		reps[i] = replicaInfo{Name: b.name, Healthy: b.isHealthy(), Watermark: r.watermarks[b.name]}
+		healthy, epoch, stale := b.state()
+		reps[i] = replicaInfo{
+			Name:         b.name,
+			Healthy:      healthy,
+			Quarantined:  stale,
+			CatalogEpoch: epoch,
+			Watermark:    r.watermarks[b.name],
+		}
 	}
 	r.pushMu.Unlock()
 	sort.Slice(reps, func(i, j int) bool { return reps[i].Name < reps[j].Name })
 	writeJSON(w, http.StatusOK, map[string]any{
-		"role":           "router",
-		"planner":        r.planner,
-		"replicas":       reps,
-		"planned_shapes": planned,
-		"uptime_seconds": time.Since(r.start).Seconds(),
+		"role":                  "router",
+		"planner":               r.planner,
+		"planner_catalog_epoch": r.plannerEpoch.Load(),
+		"replicas":              reps,
+		"planned_shapes":        planned,
+		"uptime_seconds":        time.Since(r.start).Seconds(),
 	})
 }
 

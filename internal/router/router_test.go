@@ -1,6 +1,8 @@
 package router
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,49 +16,104 @@ import (
 
 const triangleSrc = `Q(A,B,C) :- R(A,B), S(B,C), T(A,C).`
 
-// fakePlanner answers the two planner interactions the router performs:
-// /v1/plan warm-ups and /v1/plans delta pulls (always empty here — plan
-// CONTENT is exercised by the in-process fleet test; these unit tests
-// isolate routing and failover).
-func fakePlanner(t *testing.T) (*httptest.Server, *atomic.Int64) {
+// fakePlanner answers the planner interactions the router performs:
+// /v1/plan warm-ups (scriptably hangable), /v1/plans delta pulls
+// (scriptable body, empty by default — plan CONTENT is exercised by the
+// in-process fleet test; these unit tests isolate routing and failover)
+// and catalog mutations, which advance a catalog epoch reported on
+// /healthz like the real pandad.
+type fakePlanner struct {
+	ts    *httptest.Server
+	warms atomic.Int64
+	epoch atomic.Uint64
+	// planMode: "ok" answers warm-ups immediately, "hang" sleeps past the
+	// router's proxy deadline.
+	planMode atomic.Value
+	// plansBody is the GET /v1/plans response, for scripting cache clocks.
+	plansBody atomic.Value
+}
+
+func newFakePlanner(t *testing.T) *fakePlanner {
 	t.Helper()
-	var warms atomic.Int64
+	f := &fakePlanner{}
+	f.planMode.Store("ok")
+	f.plansBody.Store(`{"format":"panda-plan-cache","version":1,"clock":0,"entries":[]}`)
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, `{"status":"ok","catalog_epoch":%d}`, f.epoch.Load())
 	})
 	mux.HandleFunc("GET /v1/plan", func(w http.ResponseWriter, r *http.Request) {
-		warms.Add(1)
+		if f.planMode.Load() == "hang" {
+			time.Sleep(2 * time.Second)
+		}
+		f.warms.Add(1)
 		io.WriteString(w, `{"mode":"full","width":"1"}`)
 	})
 	mux.HandleFunc("GET /v1/plans", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, `{"format":"panda-plan-cache","version":1,"clock":0,"entries":[]}`)
+		io.WriteString(w, f.plansBody.Load().(string))
 	})
-	ts := httptest.NewServer(mux)
-	t.Cleanup(ts.Close)
-	return ts, &warms
+	mux.HandleFunc("POST /v1/relations", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		f.epoch.Add(1)
+		w.WriteHeader(http.StatusCreated)
+		io.WriteString(w, `{"name":"R","arity":2}`)
+	})
+	mux.HandleFunc("POST /v1/relations/{name}/rows", func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		f.epoch.Add(1)
+		io.WriteString(w, `{"rows":1}`)
+	})
+	f.ts = httptest.NewServer(mux)
+	t.Cleanup(f.ts.Close)
+	return f
 }
 
 // fakeReplica is a stub backend whose /v1/query behaviour is scripted.
 type fakeReplica struct {
 	ts      *httptest.Server
 	queries atomic.Int64
+	plans   atomic.Int64  // PUT /v1/plans imports received
+	epoch   atomic.Uint64 // catalog epoch reported on /healthz
 	// mode: "ok" answers 200 with the replica's URL in the body, "busy"
 	// answers 503, "hang" sleeps past any proxy deadline.
 	mode atomic.Value
+	// mutMode: "ok" applies catalog mutations (epoch advances), "fail"
+	// answers 500 without applying — the replica misses the broadcast.
+	mutMode atomic.Value
 }
 
 func newFakeReplica(t *testing.T) *fakeReplica {
 	t.Helper()
 	f := &fakeReplica{}
 	f.mode.Store("ok")
+	f.mutMode.Store("ok")
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
+		fmt.Fprintf(w, `{"status":"ok","catalog_epoch":%d}`, f.epoch.Load())
 	})
 	mux.HandleFunc("PUT /v1/plans", func(w http.ResponseWriter, r *http.Request) {
 		io.Copy(io.Discard, r.Body)
+		f.plans.Add(1)
 		io.WriteString(w, `{"loaded":0,"skipped":0,"duplicates":0}`)
+	})
+	mutation := func(w http.ResponseWriter, r *http.Request, created bool) {
+		io.Copy(io.Discard, r.Body)
+		if f.mutMode.Load() == "fail" {
+			w.WriteHeader(http.StatusInternalServerError)
+			io.WriteString(w, `{"error":"disk on fire","code":"internal"}`)
+			return
+		}
+		f.epoch.Add(1)
+		if created {
+			w.WriteHeader(http.StatusCreated)
+		}
+		io.WriteString(w, `{}`)
+	}
+	mux.HandleFunc("POST /v1/relations", func(w http.ResponseWriter, r *http.Request) {
+		mutation(w, r, true)
+	})
+	mux.HandleFunc("POST /v1/relations/{name}/rows", func(w http.ResponseWriter, r *http.Request) {
+		mutation(w, r, false)
 	})
 	mux.HandleFunc("POST /v1/query", func(w http.ResponseWriter, r *http.Request) {
 		f.queries.Add(1)
@@ -136,9 +193,9 @@ func rankedFakes(t *testing.T, fakes ...*fakeReplica) []*fakeReplica {
 // TestRouterShapeAffinity: repeated queries for one shape land on one
 // replica; the other replica never sees them.
 func TestRouterShapeAffinity(t *testing.T) {
-	planner, warms := fakePlanner(t)
+	planner := newFakePlanner(t)
 	a, b := newFakeReplica(t), newFakeReplica(t)
-	r := newTestRouter(t, planner.URL, a, b)
+	r := newTestRouter(t, planner.ts.URL, a, b)
 	ts := httptest.NewServer(r)
 	t.Cleanup(ts.Close)
 
@@ -156,7 +213,7 @@ func TestRouterShapeAffinity(t *testing.T) {
 		t.Fatalf("second-ranked replica served %d queries, want 0", got)
 	}
 	// The planner was warmed exactly once: the shape memo absorbs repeats.
-	if got := warms.Load(); got != 1 {
+	if got := planner.warms.Load(); got != 1 {
 		t.Fatalf("planner warmed %d times, want 1", got)
 	}
 }
@@ -165,9 +222,9 @@ func TestRouterShapeAffinity(t *testing.T) {
 // draining pandad) is marked down and the request retries on the next-
 // ranked healthy replica — the client sees one clean 200.
 func TestRouterFailoverOn503(t *testing.T) {
-	planner, _ := fakePlanner(t)
+	planner := newFakePlanner(t)
 	a, b := newFakeReplica(t), newFakeReplica(t)
-	r := newTestRouter(t, planner.URL, a, b)
+	r := newTestRouter(t, planner.ts.URL, a, b)
 	ts := httptest.NewServer(r)
 	t.Cleanup(ts.Close)
 
@@ -199,9 +256,9 @@ func TestRouterFailoverOn503(t *testing.T) {
 // TestRouterFailoverOnTimeout: a hanging replica trips the per-attempt
 // proxy deadline and fails over like a transport error.
 func TestRouterFailoverOnTimeout(t *testing.T) {
-	planner, _ := fakePlanner(t)
+	planner := newFakePlanner(t)
 	a, b := newFakeReplica(t), newFakeReplica(t)
-	r := newTestRouter(t, planner.URL, a, b)
+	r := newTestRouter(t, planner.ts.URL, a, b)
 	ts := httptest.NewServer(r)
 	t.Cleanup(ts.Close)
 
@@ -217,9 +274,9 @@ func TestRouterFailoverOnTimeout(t *testing.T) {
 // answers 502 with the stable JSON code, not a hung request or a raw
 // proxy error.
 func TestRouterNoHealthyReplica(t *testing.T) {
-	planner, _ := fakePlanner(t)
+	planner := newFakePlanner(t)
 	a, b := newFakeReplica(t), newFakeReplica(t)
-	r := newTestRouter(t, planner.URL, a, b)
+	r := newTestRouter(t, planner.ts.URL, a, b)
 	ts := httptest.NewServer(r)
 	t.Cleanup(ts.Close)
 
@@ -244,9 +301,9 @@ func TestRouterNoHealthyReplica(t *testing.T) {
 // TestRouterRecoversViaProbe: a downed replica that starts answering
 // /healthz again is restored by the probe loop and serves its shard again.
 func TestRouterRecoversViaProbe(t *testing.T) {
-	planner, _ := fakePlanner(t)
+	planner := newFakePlanner(t)
 	a, b := newFakeReplica(t), newFakeReplica(t)
-	r := newTestRouter(t, planner.URL, a, b)
+	r := newTestRouter(t, planner.ts.URL, a, b)
 	ts := httptest.NewServer(r)
 	t.Cleanup(ts.Close)
 
@@ -275,4 +332,234 @@ func metricsText(t *testing.T, base string) string {
 		t.Fatal(err)
 	}
 	return string(b)
+}
+
+// postRaw sends one request through the router without a test fatal on
+// HTTP-level errors, for tests that assert on the status code directly.
+func postRaw(t *testing.T, url, body string) (int, string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+// TestRouterQuarantinesReplicaThatMissedBroadcast: a replica that fails a
+// catalog-mutation broadcast (here: answers 500 while the planner applied
+// the mutation) is serving a diverged catalog. It must be quarantined on
+// the spot AND must NOT be auto-rejoined by the probe loop while its
+// /healthz answers 200 — its catalog epoch still lags the planner's. Only
+// once the epochs agree again (a resync) does it return to rotation.
+func TestRouterQuarantinesReplicaThatMissedBroadcast(t *testing.T) {
+	planner := newFakePlanner(t)
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	r := newTestRouter(t, planner.ts.URL, a, b)
+	ts := httptest.NewServer(r)
+	t.Cleanup(ts.Close)
+
+	ranked := rankedFakes(t, a, b)
+	ranked[0].mutMode.Store("fail")
+	code, body := postRaw(t, ts.URL+"/v1/relations", `{"name":"R","arity":2}`)
+	if code != http.StatusCreated {
+		t.Fatalf("mutation through the router: %d %s, want the planner's 201", code, body)
+	}
+
+	// The first-ranked replica missed the mutation: its shard must fail
+	// over even though it is live.
+	for i := 0; i < 3; i++ {
+		code, body := postQuery(t, ts.URL, triangleSrc)
+		if code != http.StatusOK || !strings.Contains(body, ranked[1].ts.URL) {
+			t.Fatalf("query %d after missed broadcast: %d %s, want 200 from %s", i, code, body, ranked[1].ts.URL)
+		}
+	}
+	if got := ranked[0].queries.Load(); got != 0 {
+		t.Fatalf("diverged replica served %d queries, want 0", got)
+	}
+
+	// The probe loop must NOT rejoin it: /healthz is 200 but the catalog
+	// epoch (0) lags the planner's (1).
+	r.probeAll()
+	r.probeAll()
+	if code, body := postQuery(t, ts.URL, triangleSrc); code != http.StatusOK || !strings.Contains(body, ranked[1].ts.URL) {
+		t.Fatalf("post-probe query: %d %s, want 200 from %s", code, body, ranked[1].ts.URL)
+	}
+	if got := ranked[0].queries.Load(); got != 0 {
+		t.Fatalf("probe loop rejoined a diverged replica (%d queries served)", got)
+	}
+	m := metricsText(t, ts.URL)
+	if !strings.Contains(m, fmt.Sprintf("panda_router_quarantines_total{replica=%q} 1", ranked[0].ts.URL)) {
+		t.Fatalf("metrics missing the quarantine count:\n%s", m)
+	}
+	if !strings.Contains(m, fmt.Sprintf("panda_router_replica_routable{replica=%q} 0", ranked[0].ts.URL)) {
+		t.Fatalf("metrics still report the diverged replica routable:\n%s", m)
+	}
+
+	// Resync: the replica's catalog catches up (epoch matches again) and
+	// the next probe round restores it.
+	ranked[0].mutMode.Store("ok")
+	ranked[0].epoch.Store(planner.epoch.Load())
+	r.probeAll()
+	if code, body := postQuery(t, ts.URL, triangleSrc); code != http.StatusOK || !strings.Contains(body, ranked[0].ts.URL) {
+		t.Fatalf("post-resync query: %d %s, want 200 from the restored %s", code, body, ranked[0].ts.URL)
+	}
+}
+
+// TestRouterQuarantinesStaleRestartViaProbe: a replica that restarts with
+// a pre-mutation catalog (epoch reset) answers /healthz 200 immediately,
+// but the probe loop must keep it out of rotation — after one round of
+// grace for the probe-during-broadcast race — because its epoch lags the
+// planner's.
+func TestRouterQuarantinesStaleRestartViaProbe(t *testing.T) {
+	planner := newFakePlanner(t)
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	r := newTestRouter(t, planner.ts.URL, a, b)
+	ts := httptest.NewServer(r)
+	t.Cleanup(ts.Close)
+
+	// One mutation lands everywhere: epochs agree at 1.
+	if code, body := postRaw(t, ts.URL+"/v1/relations", `{"name":"R","arity":2}`); code != http.StatusCreated {
+		t.Fatalf("mutation: %d %s", code, body)
+	}
+	ranked := rankedFakes(t, a, b)
+
+	// "Restart" the first-ranked replica with its original (stale) catalog.
+	ranked[0].epoch.Store(0)
+	backend := r.backendByName(ranked[0].ts.URL)
+	r.probeAll() // round 1: within grace, still routable
+	if !backend.isRoutable() {
+		t.Fatal("replica quarantined on the first mismatched probe; grace round missing")
+	}
+	r.probeAll() // round 2: quarantined
+	if backend.isRoutable() {
+		t.Fatal("replica with a stale catalog epoch was left in rotation")
+	}
+	if code, body := postQuery(t, ts.URL, triangleSrc); code != http.StatusOK || !strings.Contains(body, ranked[1].ts.URL) {
+		t.Fatalf("query after stale restart: %d %s, want 200 from %s", code, body, ranked[1].ts.URL)
+	}
+	if got := ranked[0].queries.Load(); got != 0 {
+		t.Fatalf("stale replica served %d queries, want 0", got)
+	}
+}
+
+// TestRouterPlannerClockRegressionReships: the planner's cache clock is
+// in-memory and restarts near 0, while router watermarks only advance. A
+// pull that comes back with a clock BELOW the watermark means the planner
+// restarted — the router must reset its watermarks and re-ship, not skip
+// every delta forever (which would silently push replicas back onto their
+// own LP solves).
+func TestRouterPlannerClockRegressionReships(t *testing.T) {
+	planner := newFakePlanner(t)
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	r := newTestRouter(t, planner.ts.URL, a, b)
+
+	push := func() {
+		r.pushMu.Lock()
+		r.pullAndPush(context.Background())
+		r.pushMu.Unlock()
+	}
+	watermark := func(f *fakeReplica) uint64 {
+		r.pushMu.Lock()
+		defer r.pushMu.Unlock()
+		return r.watermarks[f.ts.URL]
+	}
+
+	planner.plansBody.Store(`{"format":"panda-plan-cache","version":1,"clock":5,"entries":[{"k":1}]}`)
+	push()
+	if a.plans.Load() != 1 || b.plans.Load() != 1 {
+		t.Fatalf("first delta: %d/%d imports, want 1/1", a.plans.Load(), b.plans.Load())
+	}
+	if w := watermark(a); w != 5 {
+		t.Fatalf("watermark %d after first delta, want 5", w)
+	}
+
+	// The planner restarts: its clock begins again at 1 with one freshly
+	// planned entry that the fleet has never seen.
+	planner.plansBody.Store(`{"format":"panda-plan-cache","version":1,"clock":1,"entries":[{"k":2}]}`)
+	push()
+	if a.plans.Load() != 2 || b.plans.Load() != 2 {
+		t.Fatalf("post-restart delta was not re-shipped: %d/%d imports, want 2/2", a.plans.Load(), b.plans.Load())
+	}
+	if w := watermark(a); w != 1 {
+		t.Fatalf("watermark %d after the planner restart, want 1", w)
+	}
+}
+
+// TestRouterOversizedBody413: a /v1/query body over the proxy cap answers
+// 413 with its own stable code, not a generic 400.
+func TestRouterOversizedBody413(t *testing.T) {
+	planner := newFakePlanner(t)
+	a := newFakeReplica(t)
+	r := newTestRouter(t, planner.ts.URL, a)
+	ts := httptest.NewServer(r)
+	t.Cleanup(ts.Close)
+
+	resp, err := http.Post(ts.URL+"/v1/query", "application/json", bytes.NewReader(make([]byte, maxProxyBodyBytes+1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d %s, want 413", resp.StatusCode, body)
+	}
+	var errBody struct {
+		Code string `json:"code"`
+	}
+	if err := json.Unmarshal(body, &errBody); err != nil || errBody.Code != "body_too_large" {
+		t.Fatalf("oversized body answer %s, want code body_too_large", body)
+	}
+	if got := a.queries.Load(); got != 0 {
+		t.Fatalf("oversized body reached the replica (%d queries)", got)
+	}
+}
+
+// TestRouterMemoizedShapeUnaffectedByHungWarmup: a hung planner connection
+// during a first-sighting warm-up must not head-of-line block queries for
+// shapes that are already memoized — warm-ups are single-flighted per
+// shape, not serialized behind one global lock.
+func TestRouterMemoizedShapeUnaffectedByHungWarmup(t *testing.T) {
+	planner := newFakePlanner(t)
+	a, b := newFakeReplica(t), newFakeReplica(t)
+	r := newTestRouter(t, planner.ts.URL, a, b)
+	ts := httptest.NewServer(r)
+	t.Cleanup(ts.Close)
+
+	// Memoize the triangle while the planner is responsive.
+	if code, _ := postQuery(t, ts.URL, triangleSrc); code != http.StatusOK {
+		t.Fatal("memoizing query failed")
+	}
+
+	// Now the planner hangs on warm-ups, and a NEW shape arrives: its
+	// warm-up stalls until the router-side deadline.
+	planner.planMode.Store("hang")
+	stalled := make(chan struct{})
+	go func() {
+		defer close(stalled)
+		resp, err := http.Post(ts.URL+"/v1/query", "application/json",
+			strings.NewReader(`{"query":"Q(X,Z) :- R(X,Y), S(Y,Z)."}`))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the warm-up get in flight
+
+	// The memoized shape must answer promptly regardless.
+	client := &http.Client{Timeout: 250 * time.Millisecond}
+	resp, err := client.Post(ts.URL+"/v1/query", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"query":%q}`, triangleSrc)))
+	if err != nil {
+		t.Fatalf("memoized query blocked behind the hung warm-up: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("memoized query during warm-up: %d", resp.StatusCode)
+	}
+	<-stalled
 }

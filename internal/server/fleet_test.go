@@ -16,6 +16,7 @@ import (
 type infoJSON struct {
 	Name          string  `json:"name"`
 	FormatVersion int     `json:"format_version"`
+	CatalogEpoch  uint64  `json:"catalog_epoch"`
 	PlanClock     uint64  `json:"plan_clock"`
 	PlansCached   int     `json:"plans_cached"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
@@ -82,6 +83,73 @@ func TestHealthzAndInfo(t *testing.T) {
 	code, body := get(t, ts.URL+"/healthz")
 	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"code":"shutting_down"`) {
 		t.Fatalf("/healthz while draining: %d %s, want 503 shutting_down", code, body)
+	}
+}
+
+// TestCatalogEpoch: the catalog epoch counts APPLIED mutations — create,
+// insert, drop bump it; a rejected mutation and plain queries do not — and
+// both /healthz and /v1/info report it. Two processes that answered the
+// same broadcast sequence identically therefore report identical epochs,
+// which is what lets the router quarantine a replica that missed one.
+func TestCatalogEpoch(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	healthzEpoch := func() uint64 {
+		t.Helper()
+		code, body := get(t, ts.URL+"/healthz")
+		if code != http.StatusOK {
+			t.Fatalf("/healthz: %d %s", code, body)
+		}
+		var hb struct {
+			CatalogEpoch uint64 `json:"catalog_epoch"`
+		}
+		if err := json.Unmarshal([]byte(body), &hb); err != nil {
+			t.Fatalf("/healthz body: %v\n%s", err, body)
+		}
+		return hb.CatalogEpoch
+	}
+	if e := healthzEpoch(); e != 0 {
+		t.Fatalf("fresh server catalog epoch %d, want 0", e)
+	}
+	if code, body := post(t, ts.URL+"/v1/relations", `{"name":"R","arity":2}`); code != http.StatusCreated {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	if e := healthzEpoch(); e != 1 {
+		t.Fatalf("epoch after create %d, want 1", e)
+	}
+	if code, body := post(t, ts.URL+"/v1/relations/R/rows", `{"rows":[[1,2]]}`); code != http.StatusOK {
+		t.Fatalf("insert: %d %s", code, body)
+	}
+	if e := healthzEpoch(); e != 2 {
+		t.Fatalf("epoch after insert %d, want 2", e)
+	}
+	// A REJECTED mutation applied nothing and must not advance the epoch.
+	if code, _ := post(t, ts.URL+"/v1/relations", `{"name":"R","arity":2}`); code != http.StatusConflict {
+		t.Fatalf("duplicate create: %d, want 409", code)
+	}
+	// Queries are not mutations.
+	if code, body := post(t, ts.URL+"/v1/query", `{"query":"Q(A,B) :- R(A,B)."}`); code != http.StatusOK {
+		t.Fatalf("query: %d %s", code, body)
+	}
+	if e := healthzEpoch(); e != 2 {
+		t.Fatalf("epoch after rejected create + query %d, want 2", e)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/relations/R", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("drop: %d, want 204", resp.StatusCode)
+	}
+	if e := healthzEpoch(); e != 3 {
+		t.Fatalf("epoch after drop %d, want 3", e)
+	}
+	if info := getInfo(t, ts.URL); info.CatalogEpoch != 3 {
+		t.Fatalf("/v1/info catalog_epoch %d, want 3", info.CatalogEpoch)
 	}
 }
 

@@ -109,6 +109,14 @@ type Server struct {
 	replanKeys   atomic.Uint64 // signatures rebuilt in the background
 	replanSolves atomic.Uint64 // LP solves those rebuilds paid
 
+	// catalogEpoch counts the catalog mutations this process has applied
+	// (relation create/drop, row and CSV ingest over HTTP). Replicas behind
+	// a router receive every mutation by broadcast, so a replica whose
+	// epoch lags the planning tier's has missed one and is serving a
+	// diverged catalog; the router reads the epoch off /healthz and keeps
+	// such a replica out of rotation until it is resynced.
+	catalogEpoch atomic.Uint64
+
 	slowThreshold time.Duration
 	slowMu        sync.Mutex
 	slowLog       io.Writer
@@ -145,10 +153,10 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/plans", s.wrap("plans", s.handleExportPlans))
 	s.mux.HandleFunc("PUT /v1/plans", s.wrap("plans", s.handleImportPlans))
 	s.mux.HandleFunc("GET /v1/relations", s.wrap("relations", s.handleListRelations))
-	s.mux.HandleFunc("POST /v1/relations", s.wrap("relations", s.handleCreateRelation))
-	s.mux.HandleFunc("DELETE /v1/relations/{name}", s.wrap("relations", s.handleDropRelation))
-	s.mux.HandleFunc("POST /v1/relations/{name}/rows", s.wrap("rows", s.handleInsertRows))
-	s.mux.HandleFunc("POST /v1/relations/{name}/csv", s.wrap("csv", s.handleLoadCSV))
+	s.mux.HandleFunc("POST /v1/relations", s.wrap("relations", s.mutating(s.handleCreateRelation)))
+	s.mux.HandleFunc("DELETE /v1/relations/{name}", s.wrap("relations", s.mutating(s.handleDropRelation)))
+	s.mux.HandleFunc("POST /v1/relations/{name}/rows", s.wrap("rows", s.mutating(s.handleInsertRows)))
+	s.mux.HandleFunc("POST /v1/relations/{name}/csv", s.wrap("csv", s.mutating(s.handleLoadCSV)))
 	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /v1/shapes", s.wrap("shapes", s.handleShapes))
 	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
@@ -227,6 +235,21 @@ func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		h(sw, r)
 		s.metrics.observe(endpoint, sw.code, time.Since(start))
+	}
+}
+
+// mutating wraps a catalog-mutation handler and advances the catalog epoch
+// when the mutation was actually applied (a 2xx answer). A rejected
+// mutation (conflict, unknown relation, malformed body) leaves the catalog
+// — and therefore the epoch — untouched, so two processes that answered the
+// same broadcast sequence identically report identical epochs.
+func (s *Server) mutating(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h(sw, r)
+		if sw.code < 300 {
+			s.catalogEpoch.Add(1)
+		}
 	}
 }
 
@@ -712,9 +735,10 @@ func (s *Server) backgroundReplan(keys []string) {
 // handleHealthz is the router's readiness probe: 200 while serving. The
 // drain path never reaches this handler — wrap answers 503 for every
 // endpoint once Shutdown begins — so "reachable and admitted" IS the
-// health signal, with no state to consult here.
+// health signal. The body carries the catalog epoch so the router can tell
+// a live replica from a live replica whose catalog has diverged.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "catalog_epoch": s.catalogEpoch.Load()})
 }
 
 // handleInfo reports process identity for the fleet tier: who this replica
@@ -726,6 +750,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"name":           s.name,
 		"format_version": panda.PlanFormatVersion,
+		"catalog_epoch":  s.catalogEpoch.Load(),
 		"plan_clock":     s.db.PlanClock(),
 		"plans_cached":   s.db.Planner().Len(),
 		"uptime_seconds": time.Since(s.start).Seconds(),
