@@ -47,6 +47,14 @@ type DB struct {
 	defaults config
 	closed   bool
 
+	// Watch maintainers register a wakeup channel here; every catalog
+	// mutation (and Close) pokes each one with a non-blocking send. The
+	// registry is guarded by its own mutex so notification never contends
+	// with the catalog lock.
+	watchMu   sync.Mutex
+	watchers  map[uint64]chan struct{}
+	nextWatch uint64
+
 	// planLoad records what Open's WithPlanDir warm-load did, so embedders
 	// (pandad's boot log) can surface skipped or failed snapshots instead
 	// of silently serving cold.
@@ -58,11 +66,13 @@ type DB struct {
 // options replace the bare Options struct at the DB surface; Open sets
 // session defaults and each Query/Eval call may override them.
 type config struct {
-	mode        PlanMode
-	core        Options
-	parallelism int
-	plannerCap  int
-	planDir     string
+	mode          PlanMode
+	core          Options
+	parallelism   int
+	plannerCap    int
+	planDir       string
+	watchQueue    int
+	watchFallback bool
 }
 
 // Option tunes a DB (at Open) or a single query run (at Prepare / Query /
@@ -161,9 +171,13 @@ func newSession(pl *Planner) *DB {
 // return ErrClosed. Closing an already-closed DB is a no-op.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.closed = true
 	db.catalog = nil
+	db.mu.Unlock()
+	// Wake every watch maintainer so it observes the closed session and
+	// terminates instead of blocking until the next mutation (which will
+	// never come).
+	db.notifyWatchers()
 	return nil
 }
 
@@ -216,8 +230,11 @@ func (db *DB) CreateRelation(name string, arity int) error {
 	if _, dup := db.catalog[name]; dup {
 		return fmt.Errorf("%w: %s", ErrRelationExists, name)
 	}
-	db.catalog[name] = relation.New(name, bitset.Full(arity))
+	t := relation.New(name, bitset.Full(arity))
+	db.catalog[name] = t
 	db.version++
+	t.Stamp(db.version)
+	db.notifyWatchers()
 	return nil
 }
 
@@ -233,6 +250,7 @@ func (db *DB) DropRelation(name string) error {
 	}
 	delete(db.catalog, name)
 	db.version++
+	db.notifyWatchers()
 	return nil
 }
 
@@ -263,6 +281,8 @@ func (db *DB) Insert(name string, rows ...[]Value) error {
 		t.Insert(row)
 	}
 	db.version++
+	t.Stamp(db.version)
+	db.notifyWatchers()
 	return nil
 }
 
@@ -361,6 +381,8 @@ func (db *DB) LoadCSVContext(ctx context.Context, name string, r io.Reader) (int
 		t.Insert(row)
 	}
 	db.version++
+	t.Stamp(db.version)
+	db.notifyWatchers()
 	return len(rows), nil
 }
 
@@ -528,20 +550,84 @@ func (db *DB) SnapshotPlans() error {
 	return os.Rename(tmp.Name(), filepath.Join(dir, PlanSnapshotFile))
 }
 
-// catalogVersion reads the mutation counter; Stmt uses it to invalidate
-// cached bound instances.
-func (db *DB) catalogVersion() (uint64, error) {
+// ---- Mutation notification & per-relation ticks ----
+
+// registerWatcher adds a wakeup channel to the notification registry and
+// returns its id. The channel has capacity 1 and is poked with non-blocking
+// sends, so a slow consumer coalesces bursts instead of backing up mutators.
+func (db *DB) registerWatcher() (uint64, chan struct{}) {
+	ch := make(chan struct{}, 1)
+	db.watchMu.Lock()
+	defer db.watchMu.Unlock()
+	if db.watchers == nil {
+		db.watchers = map[uint64]chan struct{}{}
+	}
+	db.nextWatch++
+	id := db.nextWatch
+	db.watchers[id] = ch
+	return id, ch
+}
+
+// unregisterWatcher removes a wakeup channel from the registry.
+func (db *DB) unregisterWatcher(id uint64) {
+	db.watchMu.Lock()
+	defer db.watchMu.Unlock()
+	delete(db.watchers, id)
+}
+
+// notifyWatchers pokes every registered watch maintainer. Sends are
+// non-blocking: a maintainer that has not yet drained its previous poke
+// already knows it must re-examine the catalog.
+func (db *DB) notifyWatchers() {
+	db.watchMu.Lock()
+	defer db.watchMu.Unlock()
+	for _, ch := range db.watchers {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// schemaTickLocked returns the max per-relation catalog tick over the
+// schema's referenced relations (0 when none are present). Callers hold
+// db.mu.
+func (db *DB) schemaTickLocked(s *Schema) uint64 {
+	var max uint64
+	for _, a := range s.Atoms {
+		if t, ok := db.catalog[a.Name]; ok {
+			if tk := t.Tick(); tk > max {
+				max = tk
+			}
+		}
+	}
+	return max
+}
+
+// schemaTick reports the catalog tick a statement over s depends on: the
+// max per-relation tick across the relations the schema actually
+// references. Mutations to unrelated relations leave it unchanged, so a
+// memoized snapshot stays valid across them; any mutation to a referenced
+// relation — including a drop+recreate, which stamps a strictly newer tick
+// — moves it forward. A referenced relation missing from the catalog fails
+// with ErrUnknownRelation.
+func (db *DB) schemaTick(s *Schema) (uint64, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
 		return 0, ErrClosed
 	}
-	return db.version, nil
+	for _, a := range s.Atoms {
+		if _, ok := db.catalog[a.Name]; !ok {
+			return 0, fmt.Errorf("%w: %s", ErrUnknownRelation, a.Name)
+		}
+	}
+	return db.schemaTickLocked(s), nil
 }
 
 // bindInstance snapshots the catalog into an Instance for the schema,
-// returning the catalog version the snapshot reflects; the read lock is
-// held for the duration of the copy.
+// returning the schema tick (max referenced-relation tick) the snapshot
+// reflects; the read lock is held for the duration of the copy.
 func (db *DB) bindInstance(s *Schema) (*Instance, uint64, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -555,7 +641,7 @@ func (db *DB) bindInstance(s *Schema) (*Instance, uint64, error) {
 		}
 		return t.Rows(), t.Attrs().Card(), true
 	})
-	return ins, db.version, err
+	return ins, db.schemaTickLocked(s), err
 }
 
 // ---- Query paths ----

@@ -10,9 +10,10 @@
 // It creates two relations, inserts tuples, runs the same query twice —
 // the repeat is served from the plan cache with zero additional LP solves,
 // which the /metrics scrape at the end shows — asks /v1/plan for the
-// committed mode and width certificate without executing, and fetches
-// /v1/shapes to show the per-shape telemetry both runs landed on (one
-// digest, two requests).
+// committed mode and width certificate without executing, opens a standing
+// query on POST /v1/watch and prints the delta line the server pushes when
+// a catalog insert completes a new join result, and fetches /v1/shapes to
+// show the per-shape telemetry the runs landed on.
 //
 // The same client drives a pandarouter fleet unchanged — the router speaks
 // the pandad protocol. Boot a planning tier, two replicas and the router:
@@ -35,6 +36,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -75,6 +77,11 @@ func main() {
 		must(resp, err)
 		fmt.Printf("answer %d  : %s", i+1, firstLine(resp))
 	}
+
+	// Standing query: /v1/watch answers with a snapshot line, then pushes
+	// one NDJSON delta line per maintenance round as the catalog mutates —
+	// semi-naive maintenance on the pinned plan, zero further LP solves.
+	watchDemo(*addr, query)
 
 	// The planner counters prove the second run was a cache hit.
 	metrics, err := get(*addr + "/metrics")
@@ -136,6 +143,37 @@ func main() {
 		}
 		fmt.Printf("replica   : %s (%s) hits=%d lp_solves=%d lp_solves_saved=%d\n",
 			iv.Name, rep, iv.Planner.Hits, iv.Planner.LPSolves, iv.Planner.LPSolvesSaved)
+	}
+}
+
+// watchDemo opens a standing query, completes a new join pair in the
+// catalog, and prints the snapshot and delta lines the stream pushes. A
+// pandarouter front-end does not (yet) route /v1/watch, so a non-200
+// answer just skips the demo.
+func watchDemo(addr, query string) {
+	body, err := json.Marshal(map[string]any{"query": query})
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(addr+"/v1/watch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Printf("watch     : unavailable at %s (%d) — skipping the standing-query demo\n", addr, resp.StatusCode)
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if sc.Scan() {
+		fmt.Printf("watch     : %s\n", sc.Text()) // the snapshot line
+	}
+	// R(4,5) alone completes nothing; S(5,9) then closes the join and the
+	// server pushes {"tick":…,"ok":true,"rows":[[4,5,9]]}.
+	must(post(addr+"/v1/relations/R/rows", `{"rows":[[4,5]]}`))
+	must(post(addr+"/v1/relations/S/rows", `{"rows":[[5,9]]}`))
+	if sc.Scan() {
+		fmt.Printf("delta     : %s\n", sc.Text())
 	}
 }
 

@@ -1,0 +1,108 @@
+// Package incr implements semi-naive incremental maintenance for prepared
+// conjunctive plans over insert-only deltas.
+//
+// For a monotone conjunctive query Q = π_F(R_1 ⋈ … ⋈ R_k), any output
+// tuple that is new after inserts uses at least one newly inserted row at
+// some atom position i. So the new outputs are covered by the union over i
+// of Q evaluated on the "mixed" instance that restricts atom i to its
+// delta Δ_i and leaves every other atom at its full NEW extension:
+//
+//	Q(I_new) \ Q(I_old)  ⊆  ⋃_i Q(R_1', …, Δ_i, …, R_k')
+//
+// and every mixed result is a subset of Q(I_new), so dedup-merging the
+// union into the old materialization reproduces Q(I_new) exactly — without
+// ever re-executing over the full instance. Each non-delta atom is further
+// semijoin-reduced against Δ_i on shared variables (sound: the atom's
+// support row in any output tuple agrees with a Δ_i row on exactly those
+// variables), which makes a maintenance round cost proportional to the
+// delta and its join neighborhood instead of the total data size.
+//
+// The plan is treated as immutable and is NOT re-prepared: maintenance
+// executes the same pinned plan the standing query was planned with, so a
+// maintenance round performs zero LP solves. Executing a plan whose
+// cardinality constraints are stale is sound — PANDA's model-hood is
+// data-independent; the constraints only govern the runtime bound — which
+// the parity tests pin down.
+//
+// Insert-only soundness is the contract: deletions and relation
+// drop/recreate are outside this package and must be handled by the caller
+// with a full re-execution and a materialization reset.
+package incr
+
+import (
+	"context"
+	"fmt"
+
+	"panda/internal/core"
+	"panda/internal/plan"
+	"panda/internal/query"
+	"panda/internal/relation"
+)
+
+// Round is the outcome of one maintenance round.
+type Round struct {
+	// Delta holds the candidate new output tuples, projected onto the
+	// plan's free variables; nil when the plan is Boolean (no output
+	// relation) or when no atom had a delta. Tuples already present in the
+	// caller's materialization are included — the caller's dedup-merge
+	// decides what is genuinely new.
+	Delta *relation.Relation
+	// NonEmpty reports whether any mixed execution produced tuples; for
+	// Boolean plans this is the semi-naive increment of the OK answer
+	// (OK_new = OK_old ∨ NonEmpty).
+	NonEmpty bool
+	// AtomsExecuted counts the mixed-instance plan executions performed
+	// (atoms whose delta was non-empty).
+	AtomsExecuted int
+}
+
+// Maintain runs one semi-naive maintenance round: full is the bound NEW
+// instance (deltas already appended), deltas[i] the per-atom delta relation
+// (nil or empty to skip atom i; same schema as full.Relations[i]). The
+// prepared plan p must belong to the schema s and is executed as-is — no
+// replanning, no LP solves.
+func Maintain(ctx context.Context, exec *core.Executor, p *plan.Plan, s *query.Schema, full *query.Instance, deltas []*relation.Relation) (*Round, error) {
+	if len(full.Relations) != len(s.Atoms) || len(deltas) != len(s.Atoms) {
+		return nil, fmt.Errorf("incr: instance has %d relations and %d deltas for %d atoms",
+			len(full.Relations), len(deltas), len(s.Atoms))
+	}
+	round := &Round{}
+	for i, d := range deltas {
+		if d == nil || d.Size() == 0 {
+			continue
+		}
+		mixed := &query.Instance{Relations: make([]*relation.Relation, len(s.Atoms))}
+		for j, r := range full.Relations {
+			switch {
+			case j == i:
+				mixed.Relations[j] = d
+			case r.Attrs().Intersect(d.Attrs()) != 0:
+				// Only rows agreeing with some delta row on the shared
+				// variables can support a new output tuple.
+				mixed.Relations[j] = r.Semijoin(d)
+			default:
+				mixed.Relations[j] = r
+			}
+		}
+		ex, err := exec.Execute(ctx, p, mixed)
+		if err != nil {
+			return nil, err
+		}
+		round.AtomsExecuted++
+		round.NonEmpty = round.NonEmpty || ex.NonEmpty
+		out := ex.Out
+		if out != nil && p.Free != 0 && p.Free != out.Attrs() {
+			out = out.Project(p.Free)
+		}
+		if out == nil {
+			continue
+		}
+		if round.Delta == nil {
+			round.Delta = relation.New("Δ"+s.Atoms[0].Name, out.Attrs())
+		}
+		for _, t := range out.Rows() {
+			round.Delta.Insert(t)
+		}
+	}
+	return round, nil
+}

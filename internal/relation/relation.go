@@ -24,6 +24,16 @@ type Relation struct {
 	cols  []int // sorted variable ids; tuple positions follow this order
 	rows  [][]Value
 	seen  map[string]struct{}
+	marks []tickMark
+}
+
+// tickMark records that the relation held exactly `rows` tuples when the
+// catalog tick `tick` was stamped. Because rows is append-only, the prefix
+// rows[:rows] is immutable and RowsSince can answer "what arrived after
+// tick T" as a subslice.
+type tickMark struct {
+	tick uint64
+	rows int
 }
 
 // New returns an empty relation with the given schema.
@@ -82,6 +92,42 @@ func (r *Relation) InsertMap(m map[int]Value) {
 		t[i] = v
 	}
 	r.Insert(t)
+}
+
+// Stamp records that the relation's current contents correspond to the
+// monotone catalog tick. Ticks must be stamped in increasing order. A
+// re-stamp at an unchanged row count is a no-op: RowsSince for any tick at
+// or past the existing mark already answers "nothing new", and keeping the
+// older tick keeps Tick() stable across content-preserving mutations
+// (duplicate-only inserts), so statement memoization survives them.
+func (r *Relation) Stamp(tick uint64) {
+	if n := len(r.marks); n > 0 && r.marks[n-1].rows == len(r.rows) {
+		return
+	}
+	r.marks = append(r.marks, tickMark{tick: tick, rows: len(r.rows)})
+}
+
+// Tick returns the latest stamped catalog tick (0 if never stamped).
+func (r *Relation) Tick() uint64 {
+	if n := len(r.marks); n > 0 {
+		return r.marks[n-1].tick
+	}
+	return 0
+}
+
+// RowsSince returns the tuples inserted strictly after catalog tick `tick`
+// was stamped: everything past the newest mark with mark.tick ≤ tick, or
+// all rows when no such mark exists. The result is a capped subslice of the
+// append-only row log, so it stays valid — and stops growing — even as the
+// relation keeps growing; callers must not mutate the tuples.
+func (r *Relation) RowsSince(tick uint64) [][]Value {
+	// Binary search: first mark with mark.tick > tick.
+	i := sort.Search(len(r.marks), func(i int) bool { return r.marks[i].tick > tick })
+	from := 0
+	if i > 0 {
+		from = r.marks[i-1].rows
+	}
+	return r.rows[from:len(r.rows):len(r.rows)]
 }
 
 // Contains reports whether the tuple (in column order) is present.

@@ -263,3 +263,51 @@ func TestSemijoinIsProjectionOfJoin(t *testing.T) {
 		}
 	}
 }
+
+func TestTickMarksAndRowsSince(t *testing.T) {
+	r := New("R", bitset.Of(0, 1))
+	if r.Tick() != 0 {
+		t.Fatalf("fresh relation tick = %d, want 0", r.Tick())
+	}
+	if got := len(r.RowsSince(0)); got != 0 {
+		t.Fatalf("RowsSince(0) on empty = %d rows", got)
+	}
+	r.Stamp(1) // creation stamp at zero rows
+	r.Insert([]Value{1, 2})
+	r.Insert([]Value{3, 4})
+	r.Stamp(2)
+	r.Insert([]Value{5, 6})
+	r.Insert([]Value{5, 6}) // duplicate: set semantics, no new row
+	r.Stamp(3)
+	r.Stamp(4) // no new rows: a no-op, Tick stays at the last real mark
+	if r.Tick() != 3 {
+		t.Fatalf("tick = %d, want 3", r.Tick())
+	}
+	// Since tick 1: everything after the creation stamp.
+	if got := len(r.RowsSince(1)); got != 3 {
+		t.Fatalf("RowsSince(1) = %d rows, want 3", got)
+	}
+	// Since tick 2: only the third insert.
+	d := r.RowsSince(2)
+	if len(d) != 1 || d[0][0] != 5 || d[0][1] != 6 {
+		t.Fatalf("RowsSince(2) = %v, want [[5 6]]", d)
+	}
+	// Since ticks 3 and 4 (merged mark): empty either way.
+	if len(r.RowsSince(3)) != 0 || len(r.RowsSince(4)) != 0 {
+		t.Fatal("RowsSince past the newest mark should be empty")
+	}
+	// A tick older than every mark returns all rows.
+	if got := len(r.RowsSince(0)); got != 3 {
+		t.Fatalf("RowsSince(0) = %d rows, want 3", got)
+	}
+	// The delta subslice must not observe later growth (capped capacity).
+	d = r.RowsSince(2)
+	r.Insert([]Value{7, 8})
+	r.Stamp(5)
+	if len(d) != 1 {
+		t.Fatalf("delta subslice grew to %d rows", len(d))
+	}
+	if got := len(r.RowsSince(4)); got != 1 {
+		t.Fatalf("RowsSince(4) = %d rows, want 1", got)
+	}
+}

@@ -23,6 +23,10 @@ type metrics struct {
 	exec      histogram             // successful /v1/query execution latency
 	truncated uint64                // responses truncated by max_rows
 	shapes    *shapeTable           // top-K per-shape telemetry
+
+	watchSubs    int64  // live /v1/watch subscriptions (gauge)
+	watchDeltas  uint64 // delta lines streamed to subscribers
+	watchResyncs uint64 // full-state resync lines streamed
 }
 
 type requestKey struct {
@@ -63,6 +67,30 @@ func (m *metrics) observeQuery(digest, mode string, rows int, d time.Duration, t
 	m.shapes.observe(digest, mode, uint64(rows), sec)
 }
 
+// watchOpened / watchClosed track the live-subscription gauge around a
+// watch stream's lifetime.
+func (m *metrics) watchOpened() {
+	m.mu.Lock()
+	m.watchSubs++
+	m.mu.Unlock()
+}
+
+func (m *metrics) watchClosed() {
+	m.mu.Lock()
+	m.watchSubs--
+	m.mu.Unlock()
+}
+
+// watchDelta counts one streamed delta line (and whether it was a resync).
+func (m *metrics) watchDelta(resync bool) {
+	m.mu.Lock()
+	m.watchDeltas++
+	if resync {
+		m.watchResyncs++
+	}
+	m.mu.Unlock()
+}
+
 // shapeCapacity reports the top-K bound of the shape table; it is fixed at
 // construction, so no lock is needed.
 func (m *metrics) shapeCapacity() int { return m.shapes.cap }
@@ -97,6 +125,7 @@ func (m *metrics) write(w io.Writer, s *Server) {
 	}
 	exec := m.exec.clone()
 	truncated := m.truncated
+	watchSubs, watchDeltas, watchResyncs := m.watchSubs, m.watchDeltas, m.watchResyncs
 	shapes, other, evicted := m.shapes.snapshot()
 	m.mu.Unlock()
 
@@ -144,6 +173,10 @@ func (m *metrics) write(w io.Writer, s *Server) {
 	writeHistogram(w, "panda_query_execution_seconds", "", exec)
 
 	counter("panda_query_rows_truncated_total", "Query responses truncated by a per-request max_rows limit.", truncated)
+
+	fmt.Fprintf(w, "# HELP panda_watch_subscriptions Standing-query streams currently open on /v1/watch.\n# TYPE panda_watch_subscriptions gauge\npanda_watch_subscriptions %d\n", watchSubs)
+	counter("panda_watch_deltas_total", "Maintenance delta lines streamed to watch subscribers.", watchDeltas)
+	counter("panda_watch_resyncs_total", "Full-state resync lines streamed to watch subscribers (drop/recreate, queue overflow, rule rounds).", watchResyncs)
 
 	// Per-shape series, keyed by plan signature digest with bounded
 	// cardinality: at most the top-K live digests plus the "other" rollup.

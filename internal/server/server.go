@@ -8,7 +8,8 @@
 //
 // Endpoints:
 //
-//	POST   /v1/query                 run a query; rows stream as JSON
+//	POST   /v1/query                 run a query; rows stream as JSON (NDJSON with Accept: application/x-ndjson)
+//	POST   /v1/watch                 open a standing query; NDJSON stream of snapshot + deltas
 //	GET    /v1/plan?q=…[&mode=…]     dry-run prepare: committed mode + width certificate
 //	GET    /v1/plans                 export the plan cache (panda-plan-cache snapshot)
 //	PUT    /v1/plans                 import a snapshot; 422 on version/digest mismatch
@@ -124,6 +125,10 @@ type Server struct {
 	mu       sync.Mutex
 	draining bool
 	inflight sync.WaitGroup
+	// drainCh is closed when Shutdown begins, so endpoints that hold a
+	// connection open indefinitely (the watch stream) terminate and let the
+	// in-flight drain complete instead of wedging it.
+	drainCh chan struct{}
 
 	// queryStarted, when set, runs after a /v1/query request is admitted
 	// and resolved to a statement, before execution; tests use it to hold
@@ -144,11 +149,13 @@ func New(cfg Config) *Server {
 		slowLog:       cfg.SlowQueryLog,
 		name:          cfg.Name,
 		start:         time.Now(),
+		drainCh:       make(chan struct{}),
 	}
 	if s.slowThreshold > 0 && s.slowLog == nil {
 		s.slowLog = os.Stderr
 	}
 	s.mux.HandleFunc("POST /v1/query", s.wrap("query", s.handleQuery))
+	s.mux.HandleFunc("POST /v1/watch", s.wrapStream("watch", s.handleWatch))
 	s.mux.HandleFunc("GET /v1/plan", s.wrap("plan", s.handlePlan))
 	s.mux.HandleFunc("GET /v1/plans", s.wrap("plans", s.handleExportPlans))
 	s.mux.HandleFunc("PUT /v1/plans", s.wrap("plans", s.handleImportPlans))
@@ -181,7 +188,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // returns so draining queries never observe ErrClosed.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
-	s.draining = true
+	if !s.draining {
+		s.draining = true
+		close(s.drainCh)
+	}
 	s.mu.Unlock()
 	done := make(chan struct{})
 	go func() {
@@ -233,6 +243,30 @@ func (s *Server) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 			defer cancel()
 			r = r.WithContext(ctx)
 		}
+		h(sw, r)
+		s.metrics.observe(endpoint, sw.code, time.Since(start))
+	}
+}
+
+// wrapStream is wrap for endpoints that hold the connection open for as
+// long as the client stays interested (the watch stream): same drain
+// admission, in-flight accounting and metrics, but no per-request deadline
+// — a standing query is supposed to outlive any sensible request timeout.
+// Streams still terminate on shutdown: they select on s.drainCh.
+func (s *Server) wrapStream(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			writeError(sw, http.StatusServiceUnavailable, "shutting_down", errors.New("server is shutting down"))
+			s.metrics.observe(endpoint, sw.code, time.Since(start))
+			return
+		}
+		s.inflight.Add(1)
+		s.mu.Unlock()
+		defer s.inflight.Done()
 		h(sw, r)
 		s.metrics.observe(endpoint, sw.code, time.Since(start))
 	}
@@ -417,7 +451,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, err)
 		return
 	}
-	rows, truncated := s.writeResult(w, st, res, req.MaxRows)
+	var rows int
+	var truncated bool
+	if res.Mode != panda.ModeRule && wantsNDJSON(r) {
+		// Rules carry per-target tables, not one row stream; they keep the
+		// buffered JSON shape regardless of the Accept header.
+		rows, truncated = s.writeResultNDJSON(w, res, req.MaxRows)
+	} else {
+		rows, truncated = s.writeResult(w, st, res, req.MaxRows)
+	}
 	digest := res.Signature
 	if digest == "" {
 		// Disjunctive rules are planned per rule, not cached by signature;
@@ -493,24 +535,9 @@ func (s *Server) writeResult(w http.ResponseWriter, st *panda.Stmt, res *panda.R
 		truncated = truncated || cut
 	}
 	if res.Mode == panda.ModeRule {
-		targets := make([]panda.Set, 0, len(res.Tables))
-		for b := range res.Tables {
-			targets = append(targets, b)
-		}
-		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
-		sch := st.Schema()
-		io.WriteString(w, `,"tables":[`)
-		for i, b := range targets {
-			if i > 0 {
-				io.WriteString(w, ",")
-			}
-			fmt.Fprintf(w, `{"target":%q,"size":%d,"rows":`, "T_"+sch.VarLabel(b), res.Tables[b].Size())
-			n, cut := streamRows(w, flush, res.Tables[b].SortedRows(), maxRows)
-			rows += n
-			truncated = truncated || cut
-			io.WriteString(w, "}")
-		}
-		io.WriteString(w, "]")
+		n, cut := writeTables(w, flush, st, res.Tables, maxRows)
+		rows += n
+		truncated = truncated || cut
 	}
 	if truncated {
 		io.WriteString(w, `,"truncated":true`)
@@ -533,6 +560,32 @@ func (s *Server) writeResult(w http.ResponseWriter, st *panda.Stmt, res *panda.R
 		}
 	}
 	io.WriteString(w, "}\n")
+	return rows, truncated
+}
+
+// writeTables renders a rule result's per-target tables as the
+// `,"tables":[{"target":…,"size":…,"rows":[…]},…]` fragment, sorted by
+// target variable set — shared by /v1/query responses and watch-stream
+// lines so both wire formats agree byte for byte.
+func writeTables(w io.Writer, flush *http.ResponseController, st *panda.Stmt, tables map[panda.Set]*panda.Relation, maxRows int) (rows int, truncated bool) {
+	targets := make([]panda.Set, 0, len(tables))
+	for b := range tables {
+		targets = append(targets, b)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	sch := st.Schema()
+	io.WriteString(w, `,"tables":[`)
+	for i, b := range targets {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, `{"target":%q,"size":%d,"rows":`, "T_"+sch.VarLabel(b), tables[b].Size())
+		n, cut := streamRows(w, flush, tables[b].SortedRows(), maxRows)
+		rows += n
+		truncated = truncated || cut
+		io.WriteString(w, "}")
+	}
+	io.WriteString(w, "]")
 	return rows, truncated
 }
 

@@ -1,0 +1,213 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"panda"
+)
+
+// POST /v1/watch — the standing-query stream. The request body names a
+// query; the response is an unbounded NDJSON stream: first one snapshot
+// line carrying the complete materialized result and the catalog tick it
+// reflects, then one line per maintenance delta as the catalog mutates.
+// Every line is flushed as soon as it is written, so a subscriber sees a
+// delta within one maintenance round of the mutation that caused it.
+//
+//	{"snapshot":true,"tick":3,"mode":"full","ok":true,"width":"3/2","columns":["A","B","C"],"rows":[[1,2,3]]}
+//	{"tick":5,"ok":true,"rows":[[2,3,4]]}
+//	{"tick":9,"ok":true,"resync":true,"rows":[[1,2,3],[2,3,4]]}
+//
+// A delta line's rows are the newly added tuples; a line with
+// "resync":true instead carries the complete current state and the
+// consumer must replace its materialization (sent after a drop/recreate of
+// a referenced relation, on delta-queue overflow, and on every round of a
+// disjunctive-rule watch, whose lines carry "tables" rather than "rows").
+// The stream ends when the client disconnects, the server drains, or the
+// watch dies — a terminal error is reported as a final {"error":…,"code":…}
+// line.
+
+type watchRequest struct {
+	// Query is the standing query text: a conjunctive query or a
+	// disjunctive datalog rule, with optional constraint lines.
+	Query string `json:"query"`
+	// Queue sizes the watch's bounded delta queue; 0 selects the session
+	// default. A slow subscriber that overflows it receives a resync line
+	// instead of unbounded buffering.
+	Queue int `json:"queue,omitempty"`
+	// Fallback forces full re-execution per maintenance round instead of
+	// semi-naive incremental rounds (same stream, more work per round);
+	// useful for A/B-ing the incremental path.
+	Fallback bool `json:"fallback,omitempty"`
+}
+
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	var req watchRequest
+	if err := decodeJSON(r.Body, &req); err != nil {
+		s.fail(w, err)
+		return
+	}
+	if strings.TrimSpace(req.Query) == "" {
+		s.fail(w, errors.New("missing query text"))
+		return
+	}
+	if req.Queue < 0 {
+		s.fail(w, errors.New("queue must be non-negative"))
+		return
+	}
+	st, err := s.stmt(req.Query)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	var opts []panda.Option
+	if req.Queue > 0 {
+		opts = append(opts, panda.WithWatchQueue(req.Queue))
+	}
+	if req.Fallback {
+		opts = append(opts, panda.WithWatchFallback(true))
+	}
+	wch, err := st.Watch(opts...)
+	if err != nil {
+		s.fail(w, err)
+		return
+	}
+	defer wch.Close()
+	s.metrics.watchOpened()
+	defer s.metrics.watchClosed()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flush := http.NewResponseController(w)
+	res, tick := wch.Snapshot()
+	writeWatchSnapshot(w, st, res, tick)
+	flush.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			// Client went away; the deferred Close tears the maintainer down.
+			return
+		case <-s.drainCh:
+			// Shutdown: end the stream so the in-flight drain can complete.
+			return
+		case d, ok := <-wch.Deltas():
+			if !ok {
+				// The watch died underneath us (session closed, maintenance
+				// error); report why as the stream's final line.
+				if err := wch.Err(); err != nil {
+					b, _ := json.Marshal(map[string]string{"error": err.Error(), "code": codeOf(err)})
+					w.Write(append(b, '\n'))
+					flush.Flush()
+				}
+				return
+			}
+			s.metrics.watchDelta(d.Resync)
+			writeWatchDelta(w, st, d)
+			flush.Flush()
+		}
+	}
+}
+
+// writeWatchSnapshot renders the stream's opening line: the complete
+// materialized result plus the catalog tick it reflects. Field spellings
+// match the /v1/query body, so one decoder serves both.
+func writeWatchSnapshot(w io.Writer, st *panda.Stmt, res *panda.Result, tick uint64) {
+	fmt.Fprintf(w, `{"snapshot":true,"tick":%d,"mode":%q,"ok":%t`, tick, res.Mode.String(), res.OK)
+	if res.Width != nil {
+		fmt.Fprintf(w, `,"width":%q`, res.Width.RatString())
+	}
+	if res.Signature != "" {
+		fmt.Fprintf(w, `,"signature":%q`, res.Signature)
+	}
+	if res.Rel != nil {
+		cols, _ := json.Marshal(res.Columns)
+		fmt.Fprintf(w, `,"columns":%s,"rows":`, cols)
+		streamRows(w, nil, res.Rows(), 0)
+	}
+	if res.Mode == panda.ModeRule {
+		writeTables(w, nil, st, res.Tables, 0)
+	}
+	io.WriteString(w, "}\n")
+}
+
+// writeWatchDelta renders one maintenance delta as a stream line.
+func writeWatchDelta(w io.Writer, st *panda.Stmt, d panda.WatchDelta) {
+	fmt.Fprintf(w, `{"tick":%d,"ok":%t`, d.Tick, d.OK)
+	if d.Resync {
+		io.WriteString(w, `,"resync":true`)
+	}
+	if d.Tables != nil {
+		writeTables(w, nil, st, d.Tables, 0)
+	} else if d.Rows != nil || d.Resync {
+		// A resync line always spells out rows (possibly empty): the
+		// consumer replaces its state with exactly what is printed.
+		io.WriteString(w, `,"rows":`)
+		streamRows(w, nil, d.Rows, 0)
+	}
+	io.WriteString(w, "}\n")
+}
+
+// ---- NDJSON /v1/query ----
+
+// wantsNDJSON reports whether the client asked for the NDJSON response
+// framing (Accept: application/x-ndjson).
+func wantsNDJSON(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), "application/x-ndjson")
+}
+
+// writeResultNDJSON streams a conjunctive result in the NDJSON framing: a
+// header line with the scalar fields and columns, one line per row (a bare
+// JSON array), and a trailer line with the row count, truncation flag and
+// stats. Line-oriented output lets `curl -N … | jq` and log shippers
+// consume large results without buffering the whole body.
+func (s *Server) writeResultNDJSON(w http.ResponseWriter, res *panda.Result, maxRows int) (rows int, truncated bool) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flush := http.NewResponseController(w)
+	fmt.Fprintf(w, `{"mode":%q,"ok":%t`, res.Mode.String(), res.OK)
+	if res.Width != nil {
+		fmt.Fprintf(w, `,"width":%q`, res.Width.RatString())
+	}
+	if res.Rel != nil {
+		cols, _ := json.Marshal(res.Columns)
+		fmt.Fprintf(w, `,"columns":%s`, cols)
+	}
+	if res.Signature != "" {
+		fmt.Fprintf(w, `,"signature":%q`, res.Signature)
+	}
+	io.WriteString(w, "}\n")
+	if res.Rel != nil {
+		for _, row := range res.Rows() {
+			if maxRows > 0 && rows >= maxRows {
+				truncated = true
+				break
+			}
+			b, _ := json.Marshal(row)
+			w.Write(append(b, '\n'))
+			rows++
+			if rows%4096 == 0 {
+				flush.Flush()
+			}
+		}
+	}
+	fmt.Fprintf(w, `{"rows":%d`, rows)
+	if truncated {
+		io.WriteString(w, `,"truncated":true`)
+	}
+	if res.Stats != nil {
+		if b, err := json.Marshal(res.Stats); err == nil {
+			fmt.Fprintf(w, `,"stats":%s`, b)
+		}
+	}
+	if res.Timings != nil {
+		if b, err := json.Marshal(res.Timings.Seconds()); err == nil {
+			fmt.Fprintf(w, `,"timings":%s`, b)
+		}
+	}
+	io.WriteString(w, "}\n")
+	return rows, truncated
+}

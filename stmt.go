@@ -103,13 +103,15 @@ func (st *Stmt) Query(opts ...Option) (*Result, error) {
 }
 
 // bind returns the statement's schema bound to the current catalog,
-// reusing the previous snapshot (already constraint-checked) while the
-// catalog version is unchanged. Bound instances are read-only during
-// execution, so one snapshot may serve concurrent Query calls.
+// reusing the previous snapshot (already constraint-checked) while every
+// relation the statement references is unchanged — mutations to unrelated
+// relations no longer invalidate it (per-relation tick granularity). Bound
+// instances are read-only during execution, so one snapshot may serve
+// concurrent Query calls.
 func (st *Stmt) bind() (*Instance, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	ver, err := st.db.catalogVersion()
+	ver, err := st.db.schemaTick(&st.res.Rule.Schema)
 	if err != nil {
 		return nil, err
 	}

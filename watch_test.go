@@ -1,0 +1,515 @@
+package panda
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"panda/internal/query"
+)
+
+// createRelationsFor parses src and creates every body relation (empty)
+// in the catalog, so a statement over src can be prepared immediately.
+func createRelationsFor(t *testing.T, db *DB, src string) *query.ParseResult {
+	t.Helper()
+	res, err := query.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &res.Rule.Schema
+	for i, a := range s.Atoms {
+		if err := db.CreateRelation(a.Name, s.Arity(i)); err != nil && !errors.Is(err, ErrRelationExists) {
+			t.Fatal(err)
+		}
+	}
+	return res
+}
+
+// waitTick polls until the watch's materialization reflects at least the
+// given catalog tick (the maintainer runs asynchronously).
+func waitTick(t *testing.T, w *Watch, tick uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for w.Tick() < tick {
+		if time.Now().After(deadline) {
+			t.Fatalf("watch stuck at tick %d, want ≥ %d (err: %v)", w.Tick(), tick, w.Err())
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// insertRandomBatch inserts n random tuples into every relation the parsed
+// schema references.
+func insertRandomBatch(t *testing.T, db *DB, res *query.ParseResult, rng *rand.Rand, n, dom int) {
+	t.Helper()
+	s := &res.Rule.Schema
+	seen := map[string]bool{}
+	for i, a := range s.Atoms {
+		if seen[a.Name] {
+			continue
+		}
+		seen[a.Name] = true
+		var rows [][]Value
+		for k := 0; k < n; k++ {
+			row := make([]Value, s.Arity(i))
+			for j := range row {
+				row[j] = Value(rng.Intn(dom))
+			}
+			rows = append(rows, row)
+		}
+		if err := db.Insert(a.Name, rows...); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// deltaApplier replays a watch's emission stream into a client-side
+// materialization, exactly as a subscriber would: merge rows, replace on
+// Resync.
+type deltaApplier struct {
+	rows   map[string]bool
+	ok     bool
+	tables map[Set]*Relation
+}
+
+func newDeltaApplier(snapshot *Result) *deltaApplier {
+	a := &deltaApplier{rows: map[string]bool{}, ok: snapshot.OK, tables: snapshot.Tables}
+	for _, r := range snapshot.Rows() {
+		a.rows[fmt.Sprint(r)] = true
+	}
+	return a
+}
+
+func (a *deltaApplier) apply(d WatchDelta) {
+	if d.Resync {
+		a.rows = map[string]bool{}
+		a.tables = d.Tables
+	}
+	for _, r := range d.Rows {
+		a.rows[fmt.Sprint(r)] = true
+	}
+	a.ok = d.OK
+}
+
+func (a *deltaApplier) drain(w *Watch) {
+	for {
+		select {
+		case d, ok := <-w.Deltas():
+			if !ok {
+				return
+			}
+			a.apply(d)
+		default:
+			return
+		}
+	}
+}
+
+// testWatchParity drives insert batches against a standing query and a
+// fresh db.Query after every batch, asserting byte-identical rows — both
+// for the watch's own materialization and for a client reconstructing the
+// state from the delta stream.
+func testWatchParity(t *testing.T, src string, seed int64, opts ...Option) {
+	db := Open()
+	defer db.Close()
+	res := createRelationsFor(t, db, src)
+	rng := rand.New(rand.NewSource(seed))
+	insertRandomBatch(t, db, res, rng, 12, 5)
+
+	w, err := db.Watch(src, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	applier := newDeltaApplier(w.Result())
+
+	for batch := 0; batch < 6; batch++ {
+		insertRandomBatch(t, db, res, rng, 4+rng.Intn(6), 5)
+		target, err := db.schemaTick(&res.Rule.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTick(t, w, target)
+
+		fresh, err := db.Query(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := w.Result()
+		if got.OK != fresh.OK {
+			t.Fatalf("batch %d: watch OK=%v, fresh OK=%v", batch, got.OK, fresh.OK)
+		}
+		if !reflect.DeepEqual(got.Rows(), fresh.Rows()) {
+			t.Fatalf("batch %d: watch rows %v\nfresh rows %v", batch, got.Rows(), fresh.Rows())
+		}
+		if !reflect.DeepEqual(got.Columns, fresh.Columns) {
+			t.Fatalf("batch %d: watch columns %v, fresh %v", batch, got.Columns, fresh.Columns)
+		}
+		// Rule watches: the complete model tables must match too.
+		if fresh.Mode == ModeRule {
+			if len(got.Tables) != len(fresh.Tables) {
+				t.Fatalf("batch %d: watch has %d tables, fresh %d", batch, len(got.Tables), len(fresh.Tables))
+			}
+			for b, ft := range fresh.Tables {
+				gt := got.Tables[b]
+				if gt == nil || !gt.Equal(ft) {
+					t.Fatalf("batch %d: table %v diverges", batch, b)
+				}
+			}
+		}
+
+		// The delta stream must reconstruct the same state.
+		applier.drain(w)
+		if applier.ok != fresh.OK {
+			t.Fatalf("batch %d: applied OK=%v, fresh OK=%v", batch, applier.ok, fresh.OK)
+		}
+		if fresh.Rel != nil {
+			if len(applier.rows) != fresh.Size() {
+				t.Fatalf("batch %d: applied %d rows, fresh %d", batch, len(applier.rows), fresh.Size())
+			}
+			for _, r := range fresh.Rows() {
+				if !applier.rows[fmt.Sprint(r)] {
+					t.Fatalf("batch %d: applied stream missing row %v", batch, r)
+				}
+			}
+		}
+	}
+	if st := w.Stats(); st.IncrRounds+st.FullRounds == 0 {
+		t.Fatal("watch performed no maintenance rounds")
+	}
+}
+
+func TestWatchParityTriangle(t *testing.T) {
+	testWatchParity(t, triangleSrc, 11)
+}
+
+func TestWatchParityTriangleFallback(t *testing.T) {
+	testWatchParity(t, triangleSrc, 11, WithWatchFallback(true))
+}
+
+func TestWatchParityFourCycle(t *testing.T) {
+	testWatchParity(t, fourCycleSrc, 12)
+}
+
+func TestWatchParityBooleanFourCycle(t *testing.T) {
+	testWatchParity(t, booleanFourCycleSrc, 13)
+}
+
+func TestWatchParityPathRule(t *testing.T) {
+	testWatchParity(t, pathRuleSrc, 14)
+}
+
+func TestWatchParityProjection(t *testing.T) {
+	testWatchParity(t, `Q(A,B) :- R(A,B), S(B,C), T(A,C).`, 15)
+}
+
+// TestWatchZeroPlanningAfterOpen pins the pinned-plan guarantee: once the
+// watch is open, maintenance rounds perform no planner work at all.
+func TestWatchZeroPlanningAfterOpen(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	res := createRelationsFor(t, db, triangleSrc)
+	rng := rand.New(rand.NewSource(21))
+	insertRandomBatch(t, db, res, rng, 10, 5)
+
+	w, err := db.Watch(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	before := db.PlannerStats()
+
+	for batch := 0; batch < 5; batch++ {
+		insertRandomBatch(t, db, res, rng, 5, 5)
+		target, err := db.schemaTick(&res.Rule.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTick(t, w, target)
+	}
+	after := db.PlannerStats()
+	if after.LPSolves != before.LPSolves || after.Misses != before.Misses {
+		t.Fatalf("maintenance planned: LP %d→%d, misses %d→%d",
+			before.LPSolves, after.LPSolves, before.Misses, after.Misses)
+	}
+}
+
+// TestWatchPerRelationInvalidation pins the satellite fix: a mutation to a
+// relation a statement does not read must not invalidate its memoized
+// snapshot, while a mutation to a referenced relation must.
+func TestWatchPerRelationInvalidation(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	for _, n := range []string{"A", "B"} {
+		if err := db.CreateRelation(n, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Insert("B", []Value{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := db.Prepare(`Q(X,Y) :- B(X,Y).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins1, err := st.bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated mutation: the snapshot must be reused.
+	if err := db.Insert("A", []Value{9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	ins2, err := st.bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins1 != ins2 {
+		t.Fatal("insert into unrelated relation invalidated the statement snapshot")
+	}
+	// Referenced mutation: the snapshot must be rebound.
+	if err := db.Insert("B", []Value{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	ins3, err := st.bind()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins3 == ins2 {
+		t.Fatal("insert into referenced relation did not invalidate the snapshot")
+	}
+	if got := ins3.Relations[0].Size(); got != 2 {
+		t.Fatalf("rebound snapshot has %d rows, want 2", got)
+	}
+}
+
+// TestWatchOverflowResync fills a 1-slot delta queue without consuming:
+// the maintainer must evict and upgrade to a resync, and the consumer
+// must find the complete state in the final emission.
+func TestWatchOverflowResync(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	res := createRelationsFor(t, db, triangleSrc)
+	seedTriangle := func(v Value) {
+		for _, n := range []string{"R", "S", "T"} {
+			if err := db.Insert(n, []Value{v, v}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seedTriangle(0)
+
+	w, err := db.Watch(triangleSrc, WithWatchQueue(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// Each seed produces one output row and one emission; with a 1-slot
+	// queue the later emissions must overflow into resyncs.
+	for v := Value(1); v <= 4; v++ {
+		seedTriangle(v)
+		target, err := db.schemaTick(&res.Rule.Schema)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTick(t, w, target)
+	}
+	if st := w.Stats(); st.Resyncs == 0 {
+		t.Fatalf("no resyncs after overflow: %+v", st)
+	}
+	// Drain: the last emission must be a resync carrying the full state.
+	var last WatchDelta
+	got := 0
+	for {
+		select {
+		case d := <-w.Deltas():
+			last, got = d, got+1
+			continue
+		default:
+		}
+		break
+	}
+	if got == 0 {
+		t.Fatal("no deltas queued")
+	}
+	if !last.Resync {
+		t.Fatalf("last queued delta is not a resync: %+v", last)
+	}
+	fresh, err := db.Query(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(last.Rows) != fresh.Size() {
+		t.Fatalf("resync carries %d rows, catalog state has %d", len(last.Rows), fresh.Size())
+	}
+}
+
+// TestWatchDropRecreateResync drops and recreates a referenced relation:
+// the watch must survive, emit a resync, and converge to the new state.
+func TestWatchDropRecreateResync(t *testing.T) {
+	db := Open()
+	defer db.Close()
+	createRelationsFor(t, db, triangleSrc)
+	for _, n := range []string{"R", "S", "T"} {
+		if err := db.Insert(n, []Value{1, 1}, []Value{2, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w, err := db.Watch(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if got := w.Result().Size(); got != 2 {
+		t.Fatalf("initial materialization has %d rows, want 2", got)
+	}
+
+	if err := db.DropRelation("R"); err != nil {
+		t.Fatal(err)
+	}
+	// While the relation is missing the watch idles on its last state.
+	if err := db.CreateRelation("R", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Insert("R", []Value{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := query.Parse(triangleSrc)
+	target, err := db.schemaTick(&res.Rule.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTick(t, w, target)
+
+	fresh, err := db.Query(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w.Result().Rows(), fresh.Rows()) {
+		t.Fatalf("after recreate: watch %v, fresh %v", w.Result().Rows(), fresh.Rows())
+	}
+	// The recovery must have been announced as a resync.
+	sawResync := false
+	for {
+		select {
+		case d := <-w.Deltas():
+			if d.Resync {
+				sawResync = true
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if !sawResync {
+		t.Fatal("drop+recreate produced no resync emission")
+	}
+	if st := w.Stats(); st.Resyncs == 0 {
+		t.Fatalf("stats recorded no resync: %+v", st)
+	}
+}
+
+// TestWatchDBCloseTerminates closes the session under a live watch: the
+// delta channel must close and Err must report ErrClosed.
+func TestWatchDBCloseTerminates(t *testing.T) {
+	db := Open()
+	createRelationsFor(t, db, triangleSrc)
+	w, err := db.Watch(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case _, open := <-w.Deltas():
+		if open {
+			t.Fatal("delta channel delivered instead of closing")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("delta channel did not close after DB.Close")
+	}
+	if !errors.Is(w.Err(), ErrClosed) {
+		t.Fatalf("watch error = %v, want ErrClosed", w.Err())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWatchConcurrentStress hammers a watch with parallel inserters while
+// a consumer applies the delta stream; run under -race in CI. After the
+// dust settles the applied stream and the materialization must both equal
+// a fresh full execution.
+func TestWatchConcurrentStress(t *testing.T) {
+	db := Open(WithParallelism(2))
+	defer db.Close()
+	res := createRelationsFor(t, db, triangleSrc)
+	w, err := db.Watch(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	applier := newDeltaApplier(w.Result())
+	var applyMu sync.Mutex
+	consumerDone := make(chan struct{})
+	go func() {
+		defer close(consumerDone)
+		for d := range w.Deltas() {
+			applyMu.Lock()
+			applier.apply(d)
+			applyMu.Unlock()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + g)))
+			names := []string{"R", "S", "T"}
+			for i := 0; i < 40; i++ {
+				n := names[rng.Intn(len(names))]
+				row := []Value{Value(rng.Intn(6)), Value(rng.Intn(6))}
+				if err := db.Insert(n, row); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	target, err := db.schemaTick(&res.Rule.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTick(t, w, target)
+	fresh, err := db.Query(triangleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w.Result().Rows(), fresh.Rows()) {
+		t.Fatalf("stress: watch %d rows, fresh %d rows", w.Result().Size(), fresh.Size())
+	}
+
+	w.Close()
+	<-consumerDone
+	applyMu.Lock()
+	defer applyMu.Unlock()
+	if len(applier.rows) != fresh.Size() {
+		t.Fatalf("stress: applied stream has %d rows, fresh %d", len(applier.rows), fresh.Size())
+	}
+	for _, r := range fresh.Rows() {
+		if !applier.rows[fmt.Sprint(r)] {
+			t.Fatalf("stress: applied stream missing %v", r)
+		}
+	}
+}
