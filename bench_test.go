@@ -424,6 +424,53 @@ func BenchmarkParallelExecute(b *testing.B) {
 			}
 		})
 	}
+
+	// One large rule: the full triangle join is a single PANDA rule, so the
+	// per-rule fan-out above has nothing to parallelize — the speedup must
+	// come from data-parallel partitioned execution (WithPartitions
+	// co-partitions R and T on the shared variable and replicates S, one
+	// rule execution per partition through the same pool). The arm names
+	// are literal because CI asserts P=NumCPU is ≥2× P=1 on this case and
+	// the row counts of both arms agree.
+	b.Run("large-rule", func(b *testing.B) {
+		tq := workload.TriangleQuery()
+		tins := RandomInstance(11, &tq.Schema, 8192, 192)
+		tdb := Open()
+		defer tdb.Close()
+		seq, err := tdb.Eval(tq, tins, nil) // also warms the plan cache
+		if err != nil {
+			b.Fatal(err)
+		}
+		par, err := tdb.Eval(tq, tins, nil,
+			WithParallelism(runtime.NumCPU()), WithPartitions(runtime.NumCPU()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if seq.Rel.Size() != par.Rel.Size() {
+			b.Fatalf("partitioned run diverges: %d rows vs %d sequential", par.Rel.Size(), seq.Rel.Size())
+		}
+		arms := []struct {
+			name string
+			par  int
+		}{
+			{"P=1", 1},
+			{"P=NumCPU", runtime.NumCPU()},
+		}
+		for _, arm := range arms {
+			b.Run(arm.name, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := tdb.EvalContext(context.Background(), tq, tins, nil,
+						WithParallelism(arm.par), WithPartitions(arm.par))
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Rel.Size() != seq.Rel.Size() {
+						b.Fatalf("row count diverges: %d vs %d", res.Rel.Size(), seq.Rel.Size())
+					}
+				}
+			})
+		}
+	})
 }
 
 // BenchmarkWCOJTriangle compares the generic worst-case-optimal join with

@@ -69,6 +69,7 @@ type config struct {
 	mode          PlanMode
 	core          Options
 	parallelism   int
+	partitions    int
 	plannerCap    int
 	planDir       string
 	watchQueue    int
@@ -107,13 +108,31 @@ func WithBudgetDisabled(on bool) Option { return func(c *config) { c.core.Disabl
 // and trace stay byte-identical.
 func WithStageTimings(on bool) Option { return func(c *config) { c.core.StageTimings = on } }
 
-// WithParallelism bounds how many of a plan's independent per-bag
-// (ModeFhtw) and per-transversal (ModeSubw) rule executions may run
-// concurrently; n ≤ 1 (the default) executes sequentially. The fan-out is
-// deterministic — per-rule results are merged in rule order, so the output
-// rows, OK answer, Width and Stats are byte-identical to a sequential run.
-// Usable both as a session default at Open and per call.
+// WithParallelism bounds how many of a plan's independent tasks — per-bag
+// (ModeFhtw) and per-transversal (ModeSubw) rule executions, per-partition
+// executions of a single rule (see WithPartitions), and the final
+// per-decomposition Yannakakis passes of ModeSubw — may run concurrently;
+// n ≤ 1 (the default) executes sequentially. The pool size is chosen per
+// plan by a cost model (task count × certificate bound × input
+// cardinalities), so cheap plans skip the pool. The fan-out is
+// deterministic — results are merged in rule-index-then-partition-index
+// order, so the output rows, OK answer, Width and Stats are byte-identical
+// to a sequential run of the same configuration. Usable both as a session
+// default at Open and per call.
 func WithParallelism(n int) Option { return func(c *config) { c.parallelism = n } }
+
+// WithPartitions splits each rule execution's data into n co-partitioned
+// hash partitions: atoms covering the partition key (the most-covered join
+// variable) are hash-partitioned on it, the rest are replicated, and the
+// rule runs once per partition — inside the WithParallelism pool when one
+// is configured. The merged result is exact: output rows, OK answer, width
+// and mode match an unpartitioned run, and for a fixed n the run is fully
+// deterministic at any parallelism (intermediate Stats may differ between
+// different n — a partitioned proof does different, smaller work).
+// n = 0 (the default) falls back to per-relation partition hints recorded
+// with DB.SetPartitionHint; n = 1 forces unpartitioned execution even when
+// hints are present. Usable both as a session default at Open and per call.
+func WithPartitions(n int) Option { return func(c *config) { c.partitions = n } }
 
 // WithPlannerCapacity sizes the session's plan-cache LRU (0 selects the
 // default capacity). Effective at Open only.
@@ -232,6 +251,36 @@ func (db *DB) CreateRelation(name string, arity int) error {
 	}
 	t := relation.New(name, bitset.Full(arity))
 	db.catalog[name] = t
+	db.version++
+	t.Stamp(db.version)
+	db.notifyWatchers()
+	return nil
+}
+
+// SetPartitionHint records a partition count on a catalog relation: queries
+// touching the relation default to executing data-parallel over k hash
+// partitions (the largest hint among a query's relations wins; an explicit
+// WithPartitions on the session or call overrides hints entirely). k ≤ 1
+// clears the hint. The hint is metadata — it never changes query results,
+// only how the work is split — but it does bump the relation's version so
+// prepared statements re-bind and pick it up.
+func (db *DB) SetPartitionHint(name string, k int) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	t, ok := db.catalog[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownRelation, name)
+	}
+	if k <= 1 {
+		k = 0
+	}
+	if t.PartitionHint() == k {
+		return nil
+	}
+	t.SetPartitionHint(k)
 	db.version++
 	t.Stamp(db.version)
 	db.notifyWatchers()
@@ -641,6 +690,15 @@ func (db *DB) bindInstance(s *Schema) (*Instance, uint64, error) {
 		}
 		return t.Rows(), t.Attrs().Card(), true
 	})
+	if err == nil {
+		// Bound relations are fresh copies: carry the catalog partition
+		// hints over so hint-driven data-parallel execution sees them.
+		for i, a := range s.Atoms {
+			if t, ok := db.catalog[a.Name]; ok {
+				ins.Relations[i].SetPartitionHint(t.PartitionHint())
+			}
+		}
+	}
 	return ins, db.schemaTickLocked(s), err
 }
 
@@ -702,7 +760,7 @@ func (db *DB) isClosed() bool {
 
 // executor materializes the core executor one call runs with.
 func (cfg config) executor() *core.Executor {
-	return &core.Executor{Parallelism: cfg.parallelism, Opt: cfg.core}
+	return &core.Executor{Parallelism: cfg.parallelism, Partitions: cfg.partitions, Opt: cfg.core}
 }
 
 // prepareConjunctive is the shared planning preamble of the execute

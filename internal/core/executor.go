@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -17,24 +18,47 @@ import (
 
 // Executor runs the data-dependent phase of prepared plans. It is the
 // context-first execution surface of the engine: an Executor is configured
-// once (parallelism plus the engine tunables in Options) and reused across
-// runs, and every run takes a context.Context that is checked between proof
-// steps, between rule executions, and between Yannakakis passes — a
-// cancelled or expired context aborts the run promptly with ctx.Err().
+// once (parallelism, data partitioning, plus the engine tunables in
+// Options) and reused across runs, and every run takes a context.Context
+// that is checked between proof steps, between rule executions, and between
+// Yannakakis passes — a cancelled or expired context aborts the run
+// promptly with ctx.Err().
 //
-// When Parallelism > 1, the independent per-bag (ModeFhtw) and
-// per-transversal (ModeSubw) rule executions fan out across a bounded
-// worker pool. The fan-out is deterministic: per-rule results are merged in
-// rule-index order, so the output relation, OK answer, Width and Stats
-// (including the operator trace) are byte-identical to a sequential run.
-// The first genuine error cancels the sibling executions.
+// When Parallelism > 1, independent work fans out across a bounded worker
+// pool: the per-bag (ModeFhtw) and per-transversal (ModeSubw) rule
+// executions, the per-partition executions of a single rule when Partitions
+// > 1, and the final per-decomposition Yannakakis passes of ModeSubw (they
+// are independent unions). The pool size is chosen per plan by a cost model
+// — task count × 2^width × total input cardinality — so cheap plans skip
+// the pool entirely. The fan-out is deterministic: results are merged in
+// rule-index-then-partition-index order (and decomposition-index order for
+// the Yannakakis passes), so the output relation, OK answer, Width and
+// Stats (including the operator trace) are byte-identical to a sequential
+// run of the same configuration. The first genuine error cancels the
+// sibling executions.
+//
+// When Partitions > 1 (or the instance's relations carry partition hints),
+// a single rule execution's data is hash-split into co-partitioned
+// sub-instances (query.PartitionInstance): atoms covering the partition key
+// are partitioned, the rest are replicated, and the rule runs once per
+// partition. The merged result is exact — the final output rows, OK answer
+// and Width certificate match an unpartitioned run — though intermediate
+// model tables and Stats may differ from the K=1 shape (a partitioned proof
+// does different, smaller work); for a fixed partition count the run is
+// fully deterministic across any parallelism.
 //
 // The zero value is a valid sequential executor with default Options.
 // Executors are stateless between runs and safe for concurrent use.
 type Executor struct {
-	// Parallelism bounds how many rule executions may run concurrently;
-	// values ≤ 1 mean sequential execution.
+	// Parallelism bounds how many tasks (rule × partition executions,
+	// per-decomposition Yannakakis passes) may run concurrently; values
+	// ≤ 1 mean sequential execution.
 	Parallelism int
+	// Partitions splits each rule execution's data into this many hash
+	// partitions. 0 (the default) consults the instance relations'
+	// recorded partition hints; 1 forces unpartitioned execution even
+	// when hints are present.
+	Partitions int
 	// Opt tunes every PANDA rule execution (trace, invariant checks,
 	// budget ablation).
 	Opt Options
@@ -110,10 +134,53 @@ func (ex *Executor) ExecuteRule(ctx context.Context, s *query.Schema, pr *plan.P
 	return &Result{Tables: tables, Bound: pr.Bound, Stats: stats, Timings: timings}, nil
 }
 
+// executePartitionedRule runs one prepared rule once per co-partitioned
+// sub-instance through the worker pool and merges the per-partition model
+// tables and stats in partition-index order. The union of per-partition
+// models is a model of the full instance (every satisfying assignment lands
+// in exactly one partition), so the merged Result obeys the same contract
+// as a single ExecuteRule call.
+func (ex *Executor) executePartitionedRule(ctx context.Context, s *query.Schema, pr *plan.PreparedRule, cons []query.DegreeConstraint, subs []*query.Instance) (*Result, error) {
+	ress := make([]*Result, len(subs))
+	bound, _ := pr.Bound.Float64()
+	workers := ex.poolSize(len(subs), fanoutCost(len(subs), bound, subs[0]))
+	err := ex.forEach(ctx, workers, len(subs), func(cctx context.Context, j int) error {
+		res, err := ex.ExecuteRule(cctx, s, pr, cons, subs[j])
+		if err != nil {
+			return err
+		}
+		ress[j] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeRuleResults(pr, ress), nil
+}
+
+// mergeRuleResults folds per-partition rule results in partition order into
+// one Result (set-semantics table unions, stats and timings accumulated).
+func mergeRuleResults(pr *plan.PreparedRule, ress []*Result) *Result {
+	out := &Result{Tables: map[bitset.Set]*relation.Relation{}, Bound: pr.Bound, Stats: newStats()}
+	for _, res := range ress {
+		accumulate(out.Stats, res.Stats)
+		mergeTables(out.Tables, res.Tables)
+		if res.Timings != nil {
+			if out.Timings == nil {
+				out.Timings = newTimings()
+			}
+			out.Timings.Accumulate(res.Timings)
+		}
+	}
+	return out
+}
+
 // EvalDisjunctive runs PANDA (Algorithm 1) on a disjunctive datalog rule:
 // it solves the polymatroid bound LP (Lemma 5.2), extracts a witness
 // (Proposition 5.4), constructs a proof sequence (Theorem 5.9), and
-// interprets it over the instance, honoring ctx throughout.
+// interprets it over the instance, honoring ctx throughout. With Partitions
+// > 1 the rule executes once per co-partitioned sub-instance and the model
+// tables are merged in partition order.
 //
 // This is the one-shot prepare+execute path; callers with repeated traffic
 // should use plan.PrepareRule once and ExecuteRule per instance.
@@ -155,7 +222,12 @@ func (ex *Executor) EvalDisjunctive(ctx context.Context, p *query.Disjunctive, i
 	if ex.Opt.StageTimings {
 		prepWait = time.Since(prepStart)
 	}
-	res, err := ex.ExecuteRule(ctx, &p.Schema, pr, dcs, ins)
+	var res *Result
+	if subs := ex.subInstances(&p.Schema, ins); subs != nil {
+		res, err = ex.executePartitionedRule(ctx, &p.Schema, pr, dcs, subs)
+	} else {
+		res, err = ex.ExecuteRule(ctx, &p.Schema, pr, dcs, ins)
+	}
 	if err == nil && res.Timings != nil {
 		res.Timings.PrepareWait = prepWait
 	}
@@ -180,6 +252,54 @@ func (ex *Executor) Execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 	return res, nil
 }
 
+// subInstances materializes the co-partitioned sub-instances one run fans
+// out over, or nil for unpartitioned execution. An explicit Partitions
+// setting wins; 0 falls back to the partition hints recorded on the
+// instance's relations (catalog entries carry them).
+func (ex *Executor) subInstances(s *query.Schema, ins *query.Instance) []*query.Instance {
+	k := ex.Partitions
+	if k == 0 {
+		k = query.PartitionHint(ins)
+	}
+	return query.PartitionInstance(s, ins, k)
+}
+
+// fanoutCost estimates the work of one fan-out in row-units for the pool
+// cost model: task count × 2^width × total input cardinality. The width
+// exponent is clamped so adversarial certificates cannot overflow.
+func fanoutCost(nTasks int, widthLog float64, ins *query.Instance) float64 {
+	rows := 0
+	for _, r := range ins.Relations {
+		rows += r.Size()
+	}
+	if widthLog > 40 {
+		widthLog = 40
+	}
+	if widthLog < 0 {
+		widthLog = 0
+	}
+	return float64(nTasks) * math.Exp2(widthLog) * float64(rows)
+}
+
+// parallelCostFloor is the fan-out cost (see fanoutCost) below which the
+// pool is skipped: scheduling goroutines for a plan this cheap costs more
+// than it saves. Results are identical either way — the pool size never
+// affects the deterministic merge.
+const parallelCostFloor = 1 << 15
+
+// poolSize picks the worker count for a fan-out of n tasks whose estimated
+// cost is cost: sequential when parallelism is off, the fan-out is trivial,
+// or the cost model says the plan is too cheap to amortize the pool.
+func (ex *Executor) poolSize(n int, cost float64) int {
+	if ex.Parallelism <= 1 || n <= 1 || cost < parallelCostFloor {
+		return 1
+	}
+	if ex.Parallelism < n {
+		return ex.Parallelism
+	}
+	return n
+}
+
 func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instance) (*ExecResult, error) {
 	if len(ins.Relations) != len(p.Schema.Atoms) {
 		return nil, fmt.Errorf("core: instance has %d relations for %d atoms",
@@ -200,41 +320,103 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 	if timed {
 		t0 = time.Now()
 	}
+	// Data-parallel split: subs[j] is the j-th co-partitioned sub-instance;
+	// nil means one task per rule over the full instance. Every mode below
+	// fans (rule × partition) tasks out through the pool and merges in
+	// rule-index-then-partition-index order.
+	subs := ex.subInstances(&p.Schema, ins)
+	nParts := 1
+	if subs != nil {
+		nParts = len(subs)
+	}
+	taskIns := func(j int) *query.Instance {
+		if subs == nil {
+			return ins
+		}
+		return subs[j]
+	}
+	width, _ := p.Width.Float64()
+
 	switch p.Mode {
 	case plan.ModeFull:
-		res, err := ex.ExecuteRule(ctx, &p.Schema, p.Rules[0], p.Cons, ins)
+		full := bitset.Full(p.Schema.NumVars)
+		ress := make([]*Result, nParts)
+		reduced := make([]*relation.Relation, nParts)
+		workers := ex.poolSize(nParts, fanoutCost(nParts, width, ins))
+		err := ex.forEach(ctx, workers, nParts, func(cctx context.Context, j int) error {
+			res, err := ex.ExecuteRule(cctx, &p.Schema, p.Rules[0], p.Cons, taskIns(j))
+			if err != nil {
+				return err
+			}
+			ress[j] = res
+			// Semijoin reduction with every input removes spurious tuples
+			// (Corollary 7.10). The inputs are the full relations — reducing
+			// inside the worker is sound because ⋉ distributes over the
+			// partition union — so the union of reduced partition tables is
+			// exactly the full join.
+			reduced[j] = reduceWithInputs(res.Tables[full], ins)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		tm := res.Timings
+		if nParts == 1 {
+			res, t := ress[0], reduced[0]
+			tm := res.Timings
+			if tm != nil {
+				tm.RuleFanout = tick()
+				tm.Merge = tick()
+			}
+			return &ExecResult{Out: t, NonEmpty: t.Size() > 0, Tables: res.Tables, Bound: res.Bound, Stats: res.Stats, Timings: tm}, nil
+		}
+		// Partitioned: merge stats in partition order; the partition outputs
+		// are disjoint (each fixes its key's hash bucket), and their union is
+		// both the exact join and — the target being the full variable set —
+		// the canonical model, so it serves as the run's model table without
+		// a serial union of the larger unreduced per-partition tables.
+		stats := newStats()
+		var tm *Timings
+		for _, res := range ress {
+			accumulate(stats, res.Stats)
+			if res.Timings != nil {
+				if tm == nil {
+					tm = newTimings()
+				}
+				tm.Accumulate(res.Timings)
+			}
+		}
 		if tm != nil {
 			tm.RuleFanout = tick()
 		}
-		// Semijoin reduction with every input removes spurious tuples
-		// (Corollary 7.10).
-		t := res.Tables[bitset.Full(p.Schema.NumVars)]
-		for _, r := range ins.Relations {
-			t = t.Semijoin(r)
+		t := reduced[0]
+		for j := 1; j < nParts; j++ {
+			t = t.Union(reduced[j])
 		}
 		if tm != nil {
 			tm.Merge = tick()
 		}
-		return &ExecResult{Out: t, NonEmpty: t.Size() > 0, Tables: res.Tables, Bound: res.Bound, Stats: res.Stats, Timings: tm}, nil
+		tables := map[bitset.Set]*relation.Relation{full: t}
+		return &ExecResult{Out: t, NonEmpty: t.Size() > 0, Tables: tables, Bound: ress[0].Bound, Stats: stats, Timings: tm}, nil
 
 	case plan.ModeFhtw:
 		td := p.TDs[p.Chosen]
-		// The per-bag rules are independent until the Yannakakis pass:
-		// execute and semijoin-reduce them through the worker pool, then
-		// merge stats in bag order so the outcome matches sequential runs.
-		ress := make([]*Result, len(td.Bags))
-		rels := make([]*relation.Relation, len(td.Bags))
-		err := ex.forEachRule(ctx, len(td.Bags), func(ctx context.Context, i int) error {
-			res, err := ex.ExecuteRule(ctx, &p.Schema, p.Rules[i], p.Cons, ins)
+		// The (bag × partition) rules are independent until the Yannakakis
+		// pass: execute and semijoin-reduce them through the worker pool
+		// (the reduction distributes over the partition union), then merge
+		// stats in bag-then-partition order so the outcome matches
+		// sequential runs.
+		n := len(td.Bags) * nParts
+		ress := make([]*Result, n)
+		reduced := make([]*relation.Relation, n)
+		workers := ex.poolSize(n, fanoutCost(n, width, ins))
+		err := ex.forEach(ctx, workers, n, func(cctx context.Context, t int) error {
+			bi, pj := t/nParts, t%nParts
+			res, err := ex.ExecuteRule(cctx, &p.Schema, p.Rules[bi], p.Cons, taskIns(pj))
 			if err != nil {
 				return err
 			}
-			ress[i] = res
-			rels[i] = reduceWithInputs(res.Tables[td.Bags[i]], ins)
+			ress[t] = res
+			reduced[t] = reduceWithInputs(res.Tables[td.Bags[bi]], ins)
 			return nil
 		})
 		if err != nil {
@@ -252,11 +434,19 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 				tm.Accumulate(res.Timings)
 			}
 		}
+		rels := make([]*relation.Relation, len(td.Bags))
+		for bi := range td.Bags {
+			t := reduced[bi*nParts]
+			for pj := 1; pj < nParts; pj++ {
+				t = t.Union(reduced[bi*nParts+pj])
+			}
+			rels[bi] = t
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		if p.Free == 0 {
-			ok, err := yannakakis.NonEmpty(rels, td.Parent)
+			ok, err := yannakakis.NonEmptyContext(ctx, rels, td.Parent)
 			if err != nil {
 				return nil, err
 			}
@@ -265,7 +455,7 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 			}
 			return &ExecResult{NonEmpty: ok, Stats: stats, Timings: tm}, nil
 		}
-		out, err := yannakakis.Join(rels, td.Parent)
+		out, err := yannakakis.JoinContext(ctx, rels, td.Parent)
 		if err != nil {
 			return nil, err
 		}
@@ -275,16 +465,20 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 		return &ExecResult{Out: out, NonEmpty: out.Size() > 0, Stats: stats, Timings: tm}, nil
 
 	case plan.ModeSubw:
-		// One rule per inclusion-minimal transversal; the rules are
-		// independent, so they fan out, and their tables are merged in rule
-		// order afterwards (set-semantics unions, deterministic).
-		ress := make([]*Result, len(p.Rules))
-		err := ex.forEachRule(ctx, len(p.Rules), func(ctx context.Context, i int) error {
-			res, err := ex.ExecuteRule(ctx, &p.Schema, p.Rules[i], p.Cons, ins)
+		// One rule per inclusion-minimal transversal × one task per
+		// partition; the tasks are independent, so they fan out, and their
+		// tables are merged in rule-index-then-partition-index order
+		// afterwards (set-semantics unions, deterministic).
+		n := len(p.Rules) * nParts
+		ress := make([]*Result, n)
+		workers := ex.poolSize(n, fanoutCost(n, width, ins))
+		err := ex.forEach(ctx, workers, n, func(cctx context.Context, t int) error {
+			ri, pj := t/nParts, t%nParts
+			res, err := ex.ExecuteRule(cctx, &p.Schema, p.Rules[ri], p.Cons, taskIns(pj))
 			if err != nil {
 				return err
 			}
-			ress[i] = res
+			ress[t] = res
 			return nil
 		})
 		if err != nil {
@@ -304,19 +498,22 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 			}
 			mergeTables(tables, res.Tables)
 		}
-		// Semijoin-reduce every bag table with the inputs.
+		// Semijoin-reduce every bag table with the full inputs.
 		for b, t := range tables {
 			tables[b] = reduceWithInputs(t, ins)
 		}
-		// Evaluate every decomposition whose bags all have tables; union.
-		var out *relation.Relation
-		answer := false
-		evaluated := 0
-		for ti, td := range p.TDs {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			rels := make([]*relation.Relation, len(td.Bags))
+		// Evaluate every decomposition whose bags all have tables. The
+		// per-decomposition Yannakakis passes are independent unions, so
+		// they fan out through the pool too, and are merged in
+		// decomposition-index order: the OK answer ORs and the output
+		// unions exactly as the sequential loop did.
+		type tdPass struct {
+			ti   int
+			rels []*relation.Relation
+		}
+		var passes []tdPass
+		for ti := range p.TDs {
+			rels := make([]*relation.Relation, len(p.TDs[ti].Bags))
 			ok := true
 			for i, bi := range p.TDBags[ti] {
 				t, have := tables[p.Bags[bi]]
@@ -326,30 +523,48 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 				}
 				rels[i] = t
 			}
-			if !ok {
-				continue
-			}
-			evaluated++
-			if p.Free == 0 {
-				ne, err := yannakakis.NonEmpty(rels, td.Parent)
-				if err != nil {
-					return nil, err
-				}
-				answer = answer || ne
-				continue
-			}
-			j, err := yannakakis.Join(rels, td.Parent)
-			if err != nil {
-				return nil, err
-			}
-			if out == nil {
-				out = j
-			} else {
-				out = out.Union(j)
+			if ok {
+				passes = append(passes, tdPass{ti: ti, rels: rels})
 			}
 		}
-		if evaluated == 0 {
+		if len(passes) == 0 {
 			return nil, fmt.Errorf("core: no tree decomposition fully covered by transversal bags")
+		}
+		answers := make([]bool, len(passes))
+		outs := make([]*relation.Relation, len(passes))
+		workers = ex.poolSize(len(passes), fanoutCost(len(passes), width, ins))
+		err = ex.forEach(ctx, workers, len(passes), func(cctx context.Context, i int) error {
+			td := p.TDs[passes[i].ti]
+			if p.Free == 0 {
+				ne, err := yannakakis.NonEmptyContext(cctx, passes[i].rels, td.Parent)
+				if err != nil {
+					return err
+				}
+				answers[i] = ne
+				return nil
+			}
+			j, err := yannakakis.JoinContext(cctx, passes[i].rels, td.Parent)
+			if err != nil {
+				return err
+			}
+			outs[i] = j
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var out *relation.Relation
+		answer := false
+		for i := range passes {
+			answer = answer || answers[i]
+			if outs[i] == nil {
+				continue
+			}
+			if out == nil {
+				out = outs[i]
+			} else {
+				out = out.Union(outs[i])
+			}
 		}
 		if tm != nil {
 			tm.Merge = tick()
@@ -362,14 +577,13 @@ func (ex *Executor) execute(ctx context.Context, p *plan.Plan, ins *query.Instan
 	return nil, fmt.Errorf("core: plan mode %v is not executable", p.Mode)
 }
 
-// forEachRule runs fn(ctx, i) for i in [0, n), sequentially when the
-// executor's parallelism (or n) is 1, and through a bounded worker pool
-// otherwise. The first genuine error cancels the sibling executions; the
-// error returned is deterministic — the lowest-index genuine failure wins
-// over the cancellations it propagated, and the parent context's error wins
-// when the run as a whole was cancelled from outside.
-func (ex *Executor) forEachRule(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
-	workers := ex.Parallelism
+// forEach runs fn(ctx, i) for i in [0, n), sequentially when workers ≤ 1,
+// and through a bounded worker pool otherwise. The first genuine error
+// cancels the sibling executions; the error returned is deterministic — the
+// lowest-index genuine failure wins over the cancellations it propagated,
+// and the parent context's error wins when the run as a whole was cancelled
+// from outside.
+func (ex *Executor) forEach(ctx context.Context, workers, n int, fn func(ctx context.Context, i int) error) error {
 	if workers > n {
 		workers = n
 	}

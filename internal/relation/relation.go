@@ -8,7 +8,9 @@ package relation
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"sync"
 
 	"panda/internal/bitset"
 )
@@ -25,6 +27,50 @@ type Relation struct {
 	rows  [][]Value
 	seen  map[string]struct{}
 	marks []tickMark
+
+	// partHint is the partition count recorded for this relation (catalog
+	// entries carry it so the executor can pick a data-parallel fan-out
+	// without an explicit per-query option); 0 means unset.
+	partHint int
+
+	// memo caches derived read-only structures — hash indexes (Join build
+	// side), semijoin key sets, and hash partitions — keyed by attribute
+	// set and invalidated by row count, so a relation that is joined,
+	// semijoin-reduced or partitioned repeatedly (standing-query rounds,
+	// per-partition rule executions) hashes its rows once instead of once
+	// per call. Guarded by its own mutex: executions share instance
+	// relations across worker goroutines.
+	memo struct {
+		sync.Mutex
+		indexes map[bitset.Set]*memoIndex
+		keys    map[bitset.Set]*memoKeys
+		parts   map[partMemoKey]*memoParts
+	}
+}
+
+// memoIndex caches index(x) at a given row count.
+type memoIndex struct {
+	rows int
+	idx  map[string][]int
+}
+
+// memoKeys caches the distinct-key set over an attribute subset at a given
+// row count (the build side of Semijoin).
+type memoKeys struct {
+	rows int
+	keys map[string]struct{}
+}
+
+// partMemoKey identifies a cached hash partitioning.
+type partMemoKey struct {
+	k  int
+	on bitset.Set
+}
+
+// memoParts caches Partition(k, on) at a given row count.
+type memoParts struct {
+	rows  int
+	parts []*Relation
 }
 
 // tickMark records that the relation held exactly `rows` tuples when the
@@ -55,8 +101,24 @@ func (r *Relation) Cols() []int { return r.cols }
 // Size returns the number of distinct tuples.
 func (r *Relation) Size() int { return len(r.rows) }
 
-// Rows exposes the tuples; callers must not mutate them.
-func (r *Relation) Rows() [][]Value { return r.rows }
+// Rows exposes the tuples; callers must not mutate them. The slice is
+// capped (three-index) so a caller append reallocates instead of writing
+// into the live backing array — the same array the insert log's RowsSince
+// subslices alias and the next Insert appends to.
+func (r *Relation) Rows() [][]Value { return r.rows[:len(r.rows):len(r.rows)] }
+
+// SetPartitionHint records the partition count for this relation (0 clears
+// it). The executor uses the largest hint across a query's relations as the
+// data-parallel fan-out when no explicit partition option is given.
+func (r *Relation) SetPartitionHint(k int) {
+	if k < 0 {
+		k = 0
+	}
+	r.partHint = k
+}
+
+// PartitionHint returns the recorded partition count (0 when unset).
+func (r *Relation) PartitionHint() int { return r.partHint }
 
 func key(t []Value) string {
 	b := make([]byte, 8*len(t))
@@ -173,8 +235,15 @@ func (r *Relation) Project(x bitset.Set) *Relation {
 	return out
 }
 
-// index groups row indices by their key on the attribute set x.
+// index groups row indices by their key on the attribute set x. The result
+// is memoized per attribute set and rebuilt only when the row count has
+// changed since it was built; callers must treat it as read-only.
 func (r *Relation) index(x bitset.Set) map[string][]int {
+	r.memo.Lock()
+	defer r.memo.Unlock()
+	if m, ok := r.memo.indexes[x]; ok && m.rows == len(r.rows) {
+		return m.idx
+	}
 	pos := r.positions(x)
 	idx := make(map[string][]int, len(r.rows))
 	buf := make([]Value, len(pos))
@@ -185,7 +254,35 @@ func (r *Relation) index(x bitset.Set) map[string][]int {
 		k := key(buf)
 		idx[k] = append(idx[k], i)
 	}
+	if r.memo.indexes == nil {
+		r.memo.indexes = map[bitset.Set]*memoIndex{}
+	}
+	r.memo.indexes[x] = &memoIndex{rows: len(r.rows), idx: idx}
 	return idx
+}
+
+// keySet returns the distinct keys of Π_x(r) — the build side of a
+// semijoin — memoized per attribute set and invalidated by row count.
+func (r *Relation) keySet(x bitset.Set) map[string]struct{} {
+	r.memo.Lock()
+	defer r.memo.Unlock()
+	if m, ok := r.memo.keys[x]; ok && m.rows == len(r.rows) {
+		return m.keys
+	}
+	pos := r.positions(x)
+	keys := make(map[string]struct{}, len(r.rows))
+	buf := make([]Value, len(pos))
+	for _, t := range r.rows {
+		for j, p := range pos {
+			buf[j] = t[p]
+		}
+		keys[key(buf)] = struct{}{}
+	}
+	if r.memo.keys == nil {
+		r.memo.keys = map[bitset.Set]*memoKeys{}
+	}
+	r.memo.keys[x] = &memoKeys{rows: len(r.rows), keys: keys}
+	return keys
 }
 
 // Join returns the natural join r ⋈ s.
@@ -238,14 +335,12 @@ func (r *Relation) Join(s *Relation) *Relation {
 }
 
 // Semijoin returns r ⋉ s: tuples of r matching some tuple of s on the
-// common attributes.
+// common attributes. The key set over s is memoized (see keySet), so
+// reducing many relations against one shared side — the ModeFull semijoin
+// loop, incremental-maintenance rounds — hashes s once, not once per call.
 func (r *Relation) Semijoin(s *Relation) *Relation {
 	common := r.attrs.Intersect(s.attrs)
-	sKeys := map[string]struct{}{}
-	sPos := s.positions(common)
-	for _, t := range s.rows {
-		sKeys[key(subtuple(t, sPos))] = struct{}{}
-	}
+	sKeys := s.keySet(common)
 	rPos := r.positions(common)
 	out := New(fmt.Sprintf("(%s⋉%s)", r.Name, s.Name), r.attrs)
 	for _, t := range r.rows {
@@ -269,6 +364,50 @@ func (r *Relation) Union(s *Relation) *Relation {
 		out.Insert(t)
 	}
 	return out
+}
+
+// Partition hash-partitions r into k buckets by the FNV-1a hash of each
+// tuple's projection onto `on` (which must be a subset of the schema).
+// The split is deterministic — a fixed function of the tuple values, never
+// of insertion order or capacity — so two relations partitioned with the
+// same k and the same shared attributes are co-partitioned: rows agreeing
+// on `on` land in the same bucket index. Bucket relations are memoized per
+// (k, on) and invalidated by row count; callers must treat them as
+// read-only.
+func (r *Relation) Partition(k int, on bitset.Set) []*Relation {
+	if k <= 1 {
+		return []*Relation{r}
+	}
+	mk := partMemoKey{k: k, on: on}
+	r.memo.Lock()
+	defer r.memo.Unlock()
+	if m, ok := r.memo.parts[mk]; ok && m.rows == len(r.rows) {
+		return m.parts
+	}
+	pos := r.positions(on)
+	parts := make([]*Relation, k)
+	for j := range parts {
+		parts[j] = New(fmt.Sprintf("%s[p%d/%d]", r.Name, j, k), r.attrs)
+	}
+	for _, t := range r.rows {
+		parts[hashBucket(t, pos, k)].Insert(t)
+	}
+	if r.memo.parts == nil {
+		r.memo.parts = map[partMemoKey]*memoParts{}
+	}
+	r.memo.parts[mk] = &memoParts{rows: len(r.rows), parts: parts}
+	return parts
+}
+
+// hashBucket maps a tuple's projection onto pos to a bucket in [0, k).
+func hashBucket(t []Value, pos []int, k int) int {
+	h := fnv.New64a()
+	var b [8]byte
+	for _, p := range pos {
+		binary.LittleEndian.PutUint64(b[:], uint64(t[p]))
+		h.Write(b[:])
+	}
+	return int(h.Sum64() % uint64(k))
 }
 
 // Degree returns deg_r(Y|X) = max over X-tuples t of |Π_Y(σ_{X=t}(r))|,

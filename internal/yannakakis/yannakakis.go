@@ -5,6 +5,7 @@
 package yannakakis
 
 import (
+	"context"
 	"fmt"
 
 	"panda/internal/relation"
@@ -49,8 +50,16 @@ func order(parent []int) ([]int, error) {
 
 // FullReduce runs the two semijoin passes over the join tree, returning
 // globally consistent copies of the relations. rels[i]'s parent is
-// rels[parent[i]]; parent[root] = −1.
+// rels[parent[i]]; parent[root] = −1. It is FullReduceContext without
+// cancellation.
 func FullReduce(rels []*relation.Relation, parent []int) ([]*relation.Relation, error) {
+	return FullReduceContext(context.Background(), rels, parent)
+}
+
+// FullReduceContext is FullReduce checking ctx between semijoins, so a
+// cancelled context aborts a large reduction between relational operations
+// rather than only at pass boundaries.
+func FullReduceContext(ctx context.Context, rels []*relation.Relation, parent []int) ([]*relation.Relation, error) {
 	if len(rels) != len(parent) {
 		return nil, fmt.Errorf("yannakakis: %d relations but %d parents", len(rels), len(parent))
 	}
@@ -62,12 +71,18 @@ func FullReduce(rels []*relation.Relation, parent []int) ([]*relation.Relation, 
 	copy(out, rels)
 	// Leaf → root: parent ⋉ child.
 	for _, i := range post {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if p := parent[i]; p >= 0 {
 			out[p] = out[p].Semijoin(out[i])
 		}
 	}
 	// Root → leaf: child ⋉ parent.
 	for k := len(post) - 1; k >= 0; k-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		i := post[k]
 		if p := parent[i]; p >= 0 {
 			out[i] = out[i].Semijoin(out[p])
@@ -78,9 +93,15 @@ func FullReduce(rels []*relation.Relation, parent []int) ([]*relation.Relation, 
 
 // Join computes the full acyclic join: FullReduce then bottom-up joins.
 // With the reducer applied first, every intermediate result stays within
-// input + output size (Yannakakis's guarantee).
+// input + output size (Yannakakis's guarantee). It is JoinContext without
+// cancellation.
 func Join(rels []*relation.Relation, parent []int) (*relation.Relation, error) {
-	red, err := FullReduce(rels, parent)
+	return JoinContext(context.Background(), rels, parent)
+}
+
+// JoinContext is Join checking ctx between relational operations.
+func JoinContext(ctx context.Context, rels []*relation.Relation, parent []int) (*relation.Relation, error) {
+	red, err := FullReduceContext(ctx, rels, parent)
 	if err != nil {
 		return nil, err
 	}
@@ -92,6 +113,9 @@ func Join(rels []*relation.Relation, parent []int) (*relation.Relation, error) {
 	copy(acc, red)
 	var root *relation.Relation
 	for _, i := range post {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if p := parent[i]; p >= 0 {
 			acc[p] = acc[p].Join(acc[i])
 		} else {
@@ -106,9 +130,15 @@ func Join(rels []*relation.Relation, parent []int) (*relation.Relation, error) {
 }
 
 // NonEmpty reports whether the acyclic join is non-empty, using only the
-// reducer (linear time, no output materialization).
+// reducer (linear time, no output materialization). It is NonEmptyContext
+// without cancellation.
 func NonEmpty(rels []*relation.Relation, parent []int) (bool, error) {
-	red, err := FullReduce(rels, parent)
+	return NonEmptyContext(context.Background(), rels, parent)
+}
+
+// NonEmptyContext is NonEmpty checking ctx between relational operations.
+func NonEmptyContext(ctx context.Context, rels []*relation.Relation, parent []int) (bool, error) {
+	red, err := FullReduceContext(ctx, rels, parent)
 	if err != nil {
 		return false, err
 	}
