@@ -420,14 +420,22 @@ func (db *DB) LoadCSVContext(ctx context.Context, name string, r io.Reader) (int
 		if err := checkArity(len(rows[0])); err != nil {
 			return 0, fmt.Errorf("relation %s line %d: %w", name, lines[0], err)
 		}
-		t = relation.New(name, bitset.Full(len(rows[0])))
+		// A fresh relation gets the bulk path: the whole row set is known, so
+		// build into preallocated columns instead of growing insert by insert.
+		b := relation.NewBuilder(name, bitset.Full(len(rows[0])), len(rows))
+		for _, row := range rows {
+			b.Add(row)
+		}
+		t = b.Build()
 		db.catalog[name] = t
-	} else if len(rows) > 0 && len(rows[0]) != t.Attrs().Card() {
-		return 0, fmt.Errorf("%w: relation %s line %d: %d fields, want %d",
-			ErrArity, name, lines[0], len(rows[0]), t.Attrs().Card())
-	}
-	for _, row := range rows {
-		t.Insert(row)
+	} else {
+		if len(rows) > 0 && len(rows[0]) != t.Attrs().Card() {
+			return 0, fmt.Errorf("%w: relation %s line %d: %d fields, want %d",
+				ErrArity, name, lines[0], len(rows[0]), t.Attrs().Card())
+		}
+		for _, row := range rows {
+			t.Insert(row)
+		}
 	}
 	db.version++
 	t.Stamp(db.version)
@@ -676,19 +684,17 @@ func (db *DB) schemaTick(s *Schema) (uint64, error) {
 
 // bindInstance snapshots the catalog into an Instance for the schema,
 // returning the schema tick (max referenced-relation tick) the snapshot
-// reflects; the read lock is held for the duration of the copy.
+// reflects; the read lock is held for the duration of the copy (an O(arity)
+// column snapshot per atom on the common path — see query.BindInstance).
 func (db *DB) bindInstance(s *Schema) (*Instance, uint64, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
 		return nil, 0, ErrClosed
 	}
-	ins, err := query.BindInstance(s, func(name string) ([][]Value, int, bool) {
+	ins, err := query.BindInstance(s, func(name string) (*relation.Relation, bool) {
 		t, ok := db.catalog[name]
-		if !ok {
-			return nil, 0, false
-		}
-		return t.Rows(), t.Attrs().Card(), true
+		return t, ok
 	})
 	if err == nil {
 		// Bound relations are fresh copies: carry the catalog partition

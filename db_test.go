@@ -501,8 +501,16 @@ func TestDBConcurrent(t *testing.T) {
 		}
 	}
 	st := db.PlannerStats()
-	if st.Misses != 1 || st.Hits != 31 {
-		t.Fatalf("32 queries over an unchanged catalog should be 1 miss + 31 hits: %v", st)
+	// The 16 db.Query calls each consult the planner (fresh Stmt per call);
+	// the prepared statement consults it between 1 and 16 times — once its
+	// result memo warms, repeated stmt.Query calls over the unchanged
+	// referenced relations skip planning (and execution) entirely, and how
+	// many calls race ahead of the first memo store depends on scheduling.
+	if st.Misses != 1 {
+		t.Fatalf("32 queries over an unchanged catalog should plan once: %v", st)
+	}
+	if st.Hits < 16 || st.Hits > 31 {
+		t.Fatalf("expected 16–31 plan-cache hits (db.Query path + pre-memo stmt calls): %v", st)
 	}
 }
 

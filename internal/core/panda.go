@@ -572,7 +572,9 @@ func partitionByProjDegree(r *relation.Relation, y, x bitset.Set) []*relation.Re
 		return []*relation.Relation{r.Clone(r.Name + "[all]")}
 	}
 	out := make([]*relation.Relation, len(parts))
-	// Assign each tuple of R to the bucket holding its Π_X value.
+	// Assign each tuple of R to the bucket holding its Π_X value; keys stay
+	// on the interned-id plane (all relations here derive from r and share
+	// its intern table).
 	rowKeyPos := make([]int, 0, x.Card())
 	for i, c := range r.Cols() {
 		if x.Contains(c) {
@@ -582,29 +584,48 @@ func partitionByProjDegree(r *relation.Relation, y, x bitset.Set) []*relation.Re
 	bucketOf := map[string]int{}
 	for bi, p := range parts {
 		px := p.Project(x)
-		for _, row := range px.Rows() {
-			bucketOf[rowKey(row)] = bi
+		w := len(px.Cols())
+		cols := make([][]uint32, w)
+		for c := range cols {
+			cols[c] = px.Column(c)
+		}
+		buf := make([]uint32, w)
+		for i := 0; i < px.Size(); i++ {
+			for c := range cols {
+				buf[c] = cols[c][i]
+			}
+			bucketOf[idKey(buf)] = bi
 		}
 		out[bi] = relation.New(fmt.Sprintf("%s[b%d]", r.Name, bi), r.Attrs())
 	}
-	buf := make([]relation.Value, len(rowKeyPos))
-	for _, row := range r.Rows() {
-		for i, p := range rowKeyPos {
-			buf[i] = row[p]
+	rCols := make([][]uint32, len(r.Cols()))
+	for c := range rCols {
+		rCols[c] = r.Column(c)
+	}
+	keyBuf := make([]uint32, len(rowKeyPos))
+	rowBuf := make([]uint32, len(rCols))
+	for i := 0; i < r.Size(); i++ {
+		for j, p := range rowKeyPos {
+			keyBuf[j] = rCols[p][i]
 		}
-		if bi, ok := bucketOf[rowKey(buf)]; ok {
-			out[bi].Insert(row)
+		if bi, ok := bucketOf[idKey(keyBuf)]; ok {
+			for c := range rCols {
+				rowBuf[c] = rCols[c][i]
+			}
+			out[bi].InsertIDs(rowBuf)
 		}
 	}
 	return out
 }
 
-func rowKey(t []relation.Value) string {
-	b := make([]byte, 8*len(t))
-	for i, v := range t {
-		for k := 0; k < 8; k++ {
-			b[8*i+k] = byte(v >> (8 * k))
-		}
+// idKey encodes an id-tuple as a map key.
+func idKey(ids []uint32) string {
+	b := make([]byte, 4*len(ids))
+	for i, id := range ids {
+		b[4*i] = byte(id)
+		b[4*i+1] = byte(id >> 8)
+		b[4*i+2] = byte(id >> 16)
+		b[4*i+3] = byte(id >> 24)
 	}
 	return string(b)
 }

@@ -35,9 +35,9 @@ func Uniform(n int, rows [][]int64) *Distribution {
 // FromRelation builds the uniform distribution over a relation's tuples,
 // with variable i of the distribution = attribute cols[i].
 func FromRelation(r *relation.Relation) *Distribution {
-	rows := make([][]int64, r.Size())
-	for i, t := range r.Rows() {
-		rows[i] = append([]int64(nil), t...)
+	rows := make([][]int64, 0, r.Size())
+	for t := range r.All() {
+		rows = append(rows, append([]int64(nil), t...))
 	}
 	return Uniform(len(r.Cols()), rows)
 }

@@ -76,7 +76,7 @@ func NewFactor[V any](vars bitset.Set) *Factor[V] {
 // FromRelation lifts a relation to a factor with weight 1̄ per tuple.
 func FromRelation[V any](sr Semiring[V], r *relation.Relation) *Factor[V] {
 	f := NewFactor[V](r.Attrs())
-	for _, t := range r.Rows() {
+	for t := range r.All() {
 		f.Set(t, sr.One)
 	}
 	return f

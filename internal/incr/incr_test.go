@@ -160,3 +160,64 @@ func TestMaintainSkipsEmptyDeltas(t *testing.T) {
 		t.Fatalf("empty round executed %d atoms, delta %v", round.AtomsExecuted, round.Delta)
 	}
 }
+
+// TestMaintainThreadsPartitionHints pins the hint plumbing: the delta and
+// semijoined relations a maintenance round builds are fresh, so without
+// explicit threading they would carry no partition hint and every mixed
+// execution would run unpartitioned regardless of how the catalog is
+// configured. With hints on the full relations the round must fan out
+// (observable as per-partition engine runs) and still produce exactly the
+// delta of the unhinted round.
+func TestMaintainThreadsPartitionHints(t *testing.T) {
+	q := workload.TriangleQuery()
+	p, _, err := plan.Prepare(q, testConstraints(q), plan.ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &q.Schema
+
+	build := func(hint int) (*query.Instance, []*relation.Relation) {
+		rng := rand.New(rand.NewSource(11))
+		full := query.NewInstance(s)
+		insertRandom(rng, full, nil, 40)
+		deltas := make([]*relation.Relation, len(s.Atoms))
+		for i, a := range s.Atoms {
+			deltas[i] = relation.New("Δ"+a.Name, a.Vars)
+		}
+		insertRandom(rng, full, deltas, 12)
+		for _, r := range full.Relations {
+			r.SetPartitionHint(hint)
+		}
+		return full, deltas
+	}
+
+	fullPlain, deltasPlain := build(0)
+	plain, err := Maintain(context.Background(), &core.Executor{}, p, s, fullPlain, deltasPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Partitions != 0 {
+		t.Fatalf("unhinted round ran %d partitioned executions, want 0", plain.Partitions)
+	}
+
+	fullHint, deltasHint := build(3)
+	hinted, err := Maintain(context.Background(), &core.Executor{}, p, s, fullHint, deltasHint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hinted.Partitions == 0 {
+		t.Fatal("hinted round ran no partitioned executions: hints were not threaded to the mixed instances")
+	}
+	if hinted.NonEmpty != plain.NonEmpty || hinted.AtomsExecuted != plain.AtomsExecuted {
+		t.Fatalf("hinted round diverged: NonEmpty %v/%v, atoms %d/%d",
+			hinted.NonEmpty, plain.NonEmpty, hinted.AtomsExecuted, plain.AtomsExecuted)
+	}
+	switch {
+	case plain.Delta == nil:
+		if hinted.Delta != nil && hinted.Delta.Size() > 0 {
+			t.Fatal("hinted round produced a delta the unhinted round did not")
+		}
+	case hinted.Delta == nil || !hinted.Delta.Equal(plain.Delta):
+		t.Fatal("hinted round's delta differs from the unhinted round's")
+	}
+}

@@ -36,9 +36,14 @@ func (s *Schema) ArgOrder(i int) []int {
 // occurrence).
 func (s *Schema) Arity(i int) int { return len(s.ArgOrder(i)) }
 
-// Lookup resolves a relation name to its stored rows and arity. Rows must
-// be in the declared argument order of the atoms naming the relation.
-type Lookup func(name string) (rows [][]relation.Value, arity int, ok bool)
+// Lookup resolves a relation name to its stored relation. Columns must be
+// in the declared argument order of the atoms naming the relation.
+type Lookup func(name string) (*relation.Relation, bool)
+
+// RowsLookup resolves a relation name to decoded rows and an arity — the
+// slow-plane variant of Lookup for callers that hold materialized deltas
+// (standing-query rounds) rather than live relations.
+type RowsLookup func(name string) (rows [][]relation.Value, arity int, ok bool)
 
 // BindInstance builds an Instance for s from named tables: each atom's
 // relation is resolved by name and its rows are permuted from declared
@@ -47,9 +52,85 @@ type Lookup func(name string) (rows [][]relation.Value, arity int, ok bool)
 // variable, R(A,A), binds only the rows whose repeated positions agree —
 // the selection the atom denotes.
 //
+// Binding stays on the interned-id plane. When an atom's declared argument
+// order is already the ascending variable order (the common case), the
+// bound relation is an O(arity) column snapshot of the stored one — no row
+// is copied or re-hashed; permuted and repeated-variable atoms fall back to
+// an id-level row copy.
+//
 // Errors wrap ErrUnknownRelation (no table of that name) or ErrArity (the
 // table's arity differs from the atom's declared arity).
 func BindInstance(s *Schema, lookup Lookup) (*Instance, error) {
+	ins := NewInstance(s)
+	for i, a := range s.Atoms {
+		t, ok := lookup(a.Name)
+		if !ok {
+			return nil, fmt.Errorf("%w: %s", ErrUnknownRelation, a.Name)
+		}
+		order := s.ArgOrder(i)
+		if len(t.Cols()) != len(order) {
+			return nil, fmt.Errorf("%w: relation %s has arity %d, atom %s needs %d",
+				ErrArity, a.Name, len(t.Cols()), a.Name, len(order))
+		}
+		vars := a.Vars.Vars()
+		if identityOrder(order, vars) {
+			ins.Relations[i] = t.SnapshotAs(a.Name, a.Vars)
+			continue
+		}
+		// Permuted or repeated-variable atom: copy row ids through the
+		// declared-order → sorted-order mapping, dropping rows whose
+		// repeated positions disagree.
+		pos := make(map[int]int, len(vars))
+		for j, v := range vars {
+			pos[v] = j
+		}
+		cols := make([][]uint32, len(order))
+		for k := range cols {
+			cols[k] = t.Column(k)
+		}
+		ids := make([]uint32, len(vars))
+		set := make([]bool, len(vars))
+		for ri := 0; ri < t.Size(); ri++ {
+			for j := range set {
+				set[j] = false
+			}
+			match := true
+			for k, v := range order {
+				j := pos[v]
+				id := cols[k][ri]
+				if set[j] && ids[j] != id {
+					match = false // repeated variable with unequal values
+					break
+				}
+				ids[j], set[j] = id, true
+			}
+			if match {
+				ins.Relations[i].InsertIDs(ids)
+			}
+		}
+	}
+	return ins, nil
+}
+
+// identityOrder reports whether the declared argument order is exactly the
+// ascending variable order with no repetitions.
+func identityOrder(order, vars []int) bool {
+	if len(order) != len(vars) {
+		return false
+	}
+	for k := range order {
+		if order[k] != vars[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// BindInstanceRows is BindInstance over materialized rows: same permutation
+// and repeated-variable semantics, sourced from decoded tuples. Each atom's
+// row set is known up front, so relations are built in bulk through a
+// relation.Builder sized to the delta.
+func BindInstanceRows(s *Schema, lookup RowsLookup) (*Instance, error) {
 	ins := NewInstance(s)
 	for i, a := range s.Atoms {
 		rows, arity, ok := lookup(a.Name)
@@ -66,6 +147,7 @@ func BindInstance(s *Schema, lookup Lookup) (*Instance, error) {
 		for j, v := range vars {
 			pos[v] = j
 		}
+		b := relation.NewBuilder(a.Name, a.Vars, len(rows))
 		t := make([]relation.Value, len(vars))
 		set := make([]bool, len(vars))
 		for _, row := range rows {
@@ -82,9 +164,10 @@ func BindInstance(s *Schema, lookup Lookup) (*Instance, error) {
 				t[j], set[j] = row[k], true
 			}
 			if match {
-				ins.Relations[i].Insert(t)
+				b.Add(t)
 			}
 		}
+		ins.Relations[i] = b.Build()
 	}
 	return ins, nil
 }

@@ -239,7 +239,7 @@ func (ins *Instance) IsModel(p *Disjunctive, tables map[bitset.Set]*relation.Rel
 	if join.Attrs() != full {
 		return false, fmt.Errorf("query: body covers %v, not the full universe %v", join.Attrs(), full)
 	}
-	for _, t := range join.Rows() {
+	for t := range join.All() {
 		ok := false
 		for _, b := range p.Targets {
 			tb, present := tables[b]

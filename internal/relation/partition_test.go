@@ -70,26 +70,21 @@ func TestMemoizedIndexInvalidation(t *testing.T) {
 	}
 }
 
-// TestMemoizedIndexReuse: at an unchanged row count the memoized structures
-// are returned as-is (pointer-identical), not rebuilt.
+// TestMemoizedIndexReuse: at an unchanged mutation tick the memoized
+// structures are returned as-is (pointer-identical), not rebuilt.
 func TestMemoizedIndexReuse(t *testing.T) {
 	r := pairs("R", 0, 1, [][2]Value{{1, 10}, {2, 20}, {3, 30}})
 	on := bitset.Of(0)
 	i1 := r.index(on)
 	i2 := r.index(on)
 	if reflect.ValueOf(i1).Pointer() != reflect.ValueOf(i2).Pointer() {
-		t.Fatal("index rebuilt at unchanged row count")
-	}
-	k1 := r.keySet(on)
-	k2 := r.keySet(on)
-	if reflect.ValueOf(k1).Pointer() != reflect.ValueOf(k2).Pointer() {
-		t.Fatal("key set rebuilt at unchanged row count")
+		t.Fatal("index rebuilt at unchanged mutation tick")
 	}
 	p1 := r.Partition(2, on)
 	p2 := r.Partition(2, on)
 	if p1[0] != p2[0] {
 		// Same backing memo: identical *Relation buckets.
-		t.Fatal("partitions rebuilt at unchanged row count")
+		t.Fatal("partitions rebuilt at unchanged mutation tick")
 	}
 	r.Insert([]Value{4, 40})
 	if reflect.ValueOf(r.index(on)).Pointer() == reflect.ValueOf(i1).Pointer() {
@@ -97,6 +92,37 @@ func TestMemoizedIndexReuse(t *testing.T) {
 	}
 	if p3 := r.Partition(2, on); p3[0] == p1[0] {
 		t.Fatal("partitions not invalidated by insert")
+	}
+}
+
+// TestMemoKeyedByMutationTick is the regression test for the row-count
+// invalidation heuristic the memos used before: any future mutation that
+// changes contents without changing cardinality (drop/recreate, swap,
+// compaction) would have returned a stale index. The memos are now keyed by
+// the monotone mutation tick: a duplicate insert (no accepted mutation)
+// keeps them valid, while any accepted insert — even one that later
+// restores the original cardinality — invalidates.
+func TestMemoKeyedByMutationTick(t *testing.T) {
+	r := pairs("R", 0, 1, [][2]Value{{1, 10}, {2, 20}})
+	on := bitset.Of(0)
+	i1 := r.index(on)
+	r.Insert([]Value{1, 10}) // duplicate: set semantics, tick unchanged
+	if reflect.ValueOf(r.index(on)).Pointer() != reflect.ValueOf(i1).Pointer() {
+		t.Fatal("duplicate insert invalidated the memo (tick should not move)")
+	}
+	if r.mut != 2 {
+		t.Fatalf("mutation tick = %d after 2 accepted + 1 duplicate insert, want 2", r.mut)
+	}
+	// Equal cardinality at a later tick must still invalidate: compare the
+	// memo of a recreated relation with the same row count but different
+	// contents — lookups must reflect the new rows, not the old index.
+	fresh := pairs("R", 0, 1, [][2]Value{{7, 70}, {8, 80}})
+	s := pairs("S", 1, 2, [][2]Value{{70, 700}})
+	if got := fresh.Join(s).Size(); got != 1 {
+		t.Fatalf("recreated relation join = %d, want 1", got)
+	}
+	if fresh.mut != r.mut {
+		t.Fatalf("equal-cardinality relations share a tick value (%d vs %d) — memos must live per object", fresh.mut, r.mut)
 	}
 }
 

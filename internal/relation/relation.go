@@ -3,12 +3,16 @@
 // domains with natural join, projection, semijoin, union, degree statistics
 // (Definition 2.10) and the heavy/light degree-bucket partitioning of
 // Lemma 6.1.
+//
+// Storage is interned and columnar: every Value is mapped once to a dense
+// uint32 id (see Interner) and a relation holds one []uint32 vector per
+// attribute, so equality, dedup and index builds operate on machine words
+// and iteration walks contiguous memory. Values are decoded back only at
+// the read boundary (Cursor, All, Rows, SortedRows).
 package relation
 
 import (
-	"encoding/binary"
 	"fmt"
-	"hash/fnv"
 	"sort"
 	"sync"
 
@@ -20,45 +24,58 @@ type Value = int64
 
 // Relation is a finite relation with set semantics. Attribute order inside
 // tuples follows the sorted order of the schema's variable indices.
+//
+// Writes (Insert and friends) require external synchronization, as before;
+// concurrent reads — including the internally-memoized index builds — are
+// safe.
 type Relation struct {
 	Name  string
 	attrs bitset.Set
 	cols  []int // sorted variable ids; tuple positions follow this order
-	rows  [][]Value
-	seen  map[string]struct{}
+	in    *Interner
+
+	data  [][]uint32 // one id vector per column, each of length nrows
+	nrows int
+	// seen dedups rows by the FNV hash of their id-tuple; each bucket holds
+	// candidate row indices verified by column comparison. Built lazily:
+	// operators whose output is unique by construction (Semijoin, Partition,
+	// Clone, degree buckets, snapshots) skip it until the first membership
+	// probe or dedup insert.
+	seen map[uint64][]int32
+
 	marks []tickMark
+	// mut counts accepted inserts; derived-structure memos are keyed by it
+	// (a strictly monotone per-relation tick, never fooled by equal row
+	// counts the way a cardinality check could be).
+	mut uint64
 
 	// partHint is the partition count recorded for this relation (catalog
 	// entries carry it so the executor can pick a data-parallel fan-out
 	// without an explicit per-query option); 0 means unset.
 	partHint int
 
-	// memo caches derived read-only structures — hash indexes (Join build
-	// side), semijoin key sets, and hash partitions — keyed by attribute
-	// set and invalidated by row count, so a relation that is joined,
-	// semijoin-reduced or partitioned repeatedly (standing-query rounds,
-	// per-partition rule executions) hashes its rows once instead of once
-	// per call. Guarded by its own mutex: executions share instance
+	// scratch is reused by Insert to intern into; writes are externally
+	// synchronized so a single buffer suffices.
+	scratch []uint32
+
+	// memo caches derived read-only structures — hash indexes (the build
+	// side of Join and Semijoin) and hash partitions — keyed by attribute
+	// set and invalidated by the mutation tick, so a relation that is
+	// joined, semijoin-reduced or partitioned repeatedly (standing-query
+	// rounds, per-partition rule executions) hashes its rows once instead
+	// of once per call. Guarded by its own mutex: executions share instance
 	// relations across worker goroutines.
 	memo struct {
 		sync.Mutex
 		indexes map[bitset.Set]*memoIndex
-		keys    map[bitset.Set]*memoKeys
 		parts   map[partMemoKey]*memoParts
 	}
 }
 
-// memoIndex caches index(x) at a given row count.
+// memoIndex caches index(x) at a given mutation tick.
 type memoIndex struct {
-	rows int
-	idx  map[string][]int
-}
-
-// memoKeys caches the distinct-key set over an attribute subset at a given
-// row count (the build side of Semijoin).
-type memoKeys struct {
-	rows int
-	keys map[string]struct{}
+	mut uint64
+	idx map[uint64][]int32
 }
 
 // partMemoKey identifies a cached hash partitioning.
@@ -67,28 +84,38 @@ type partMemoKey struct {
 	on bitset.Set
 }
 
-// memoParts caches Partition(k, on) at a given row count.
+// memoParts caches Partition(k, on) at a given mutation tick.
 type memoParts struct {
-	rows  int
+	mut   uint64
 	parts []*Relation
 }
 
 // tickMark records that the relation held exactly `rows` tuples when the
-// catalog tick `tick` was stamped. Because rows is append-only, the prefix
-// rows[:rows] is immutable and RowsSince can answer "what arrived after
-// tick T" as a subslice.
+// catalog tick `tick` was stamped. Because row storage is append-only, the
+// prefix [:rows] is immutable and RowsSince can answer "what arrived after
+// tick T" by decoding the suffix.
 type tickMark struct {
 	tick uint64
 	rows int
 }
 
-// New returns an empty relation with the given schema.
+// FNV-1a constants; rows hash by folding 32-bit ids through the FNV-1a
+// recurrence (word-at-a-time — collisions are resolved by id comparison).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// New returns an empty relation with the given schema, decoding through the
+// process-wide intern table.
 func New(name string, attrs bitset.Set) *Relation {
+	cols := attrs.Vars()
 	return &Relation{
 		Name:  name,
 		attrs: attrs,
-		cols:  attrs.Vars(),
-		seen:  map[string]struct{}{},
+		cols:  cols,
+		in:    Global,
+		data:  make([][]uint32, len(cols)),
 	}
 }
 
@@ -99,13 +126,14 @@ func (r *Relation) Attrs() bitset.Set { return r.attrs }
 func (r *Relation) Cols() []int { return r.cols }
 
 // Size returns the number of distinct tuples.
-func (r *Relation) Size() int { return len(r.rows) }
+func (r *Relation) Size() int { return r.nrows }
 
-// Rows exposes the tuples; callers must not mutate them. The slice is
-// capped (three-index) so a caller append reallocates instead of writing
-// into the live backing array — the same array the insert log's RowsSince
-// subslices alias and the next Insert appends to.
-func (r *Relation) Rows() [][]Value { return r.rows[:len(r.rows):len(r.rows)] }
+// Interner returns the intern table this relation decodes through.
+func (r *Relation) Interner() *Interner { return r.in }
+
+// Column returns the id vector of tuple position i; callers must treat it
+// as read-only. Ids decode through Interner().ValueOf.
+func (r *Relation) Column(i int) []uint32 { return r.data[i][:r.nrows:r.nrows] }
 
 // SetPartitionHint records the partition count for this relation (0 clears
 // it). The executor uses the largest hint across a query's relations as the
@@ -120,12 +148,125 @@ func (r *Relation) SetPartitionHint(k int) {
 // PartitionHint returns the recorded partition count (0 when unset).
 func (r *Relation) PartitionHint() int { return r.partHint }
 
-func key(t []Value) string {
-	b := make([]byte, 8*len(t))
-	for i, v := range t {
-		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+// hashIDs folds an id-tuple through FNV-1a.
+func hashIDs(ids []uint32) uint64 {
+	h := uint64(fnvOffset64)
+	for _, id := range ids {
+		h ^= uint64(id)
+		h *= fnvPrime64
 	}
-	return string(b)
+	return h
+}
+
+// rowHash hashes row i over all columns (the dedup key).
+func (r *Relation) rowHash(i int) uint64 {
+	h := uint64(fnvOffset64)
+	for c := range r.data {
+		h ^= uint64(r.data[c][i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hashRowAt hashes row i over the given tuple positions.
+func (r *Relation) hashRowAt(i int, pos []int) uint64 {
+	h := uint64(fnvOffset64)
+	for _, p := range pos {
+		h ^= uint64(r.data[p][i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// rowMatchIDs reports whether row i equals the id-tuple.
+func (r *Relation) rowMatchIDs(i int, ids []uint32) bool {
+	for c := range r.data {
+		if r.data[c][i] != ids[c] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowsMatchAt reports whether rows i and j agree on the given positions.
+func (r *Relation) rowsMatchAt(i, j int, pos []int) bool {
+	for _, p := range pos {
+		if r.data[p][i] != r.data[p][j] {
+			return false
+		}
+	}
+	return true
+}
+
+// rowIDs copies row i's ids into buf.
+func (r *Relation) rowIDs(i int, buf []uint32) []uint32 {
+	buf = buf[:len(r.data)]
+	for c := range r.data {
+		buf[c] = r.data[c][i]
+	}
+	return buf
+}
+
+// decodeInto decodes row i into buf (which must have the relation's arity).
+func (r *Relation) decodeInto(buf []Value, i int) {
+	for c := range r.data {
+		buf[c] = r.in.ValueOf(r.data[c][i])
+	}
+}
+
+// ensureSeen builds the dedup table from the stored rows if it is absent.
+func (r *Relation) ensureSeen() {
+	if r.seen != nil {
+		return
+	}
+	r.seen = make(map[uint64][]int32, r.nrows+1)
+	for i := 0; i < r.nrows; i++ {
+		h := r.rowHash(i)
+		r.seen[h] = append(r.seen[h], int32(i))
+	}
+}
+
+// appendIDs appends a row unconditionally, bumping the mutation tick.
+func (r *Relation) appendIDs(ids []uint32) {
+	for c := range r.data {
+		r.data[c] = append(r.data[c], ids[c])
+	}
+	r.nrows++
+	r.mut++
+}
+
+// appendUnique appends a row the caller guarantees is not present.
+func (r *Relation) appendUnique(ids []uint32) {
+	if r.seen != nil {
+		h := hashIDs(ids)
+		r.seen[h] = append(r.seen[h], int32(r.nrows))
+	}
+	r.appendIDs(ids)
+}
+
+// insertIDs appends a row unless present; reports whether it was new.
+func (r *Relation) insertIDs(ids []uint32) bool {
+	r.ensureSeen()
+	h := hashIDs(ids)
+	for _, i := range r.seen[h] {
+		if r.rowMatchIDs(int(i), ids) {
+			return false
+		}
+	}
+	r.seen[h] = append(r.seen[h], int32(r.nrows))
+	r.appendIDs(ids)
+	return true
+}
+
+// containsIDs reports whether the id-tuple is present.
+func (r *Relation) containsIDs(ids []uint32) bool {
+	r.ensureSeen()
+	for _, i := range r.seen[hashIDs(ids)] {
+		if r.rowMatchIDs(int(i), ids) {
+			return true
+		}
+	}
+	return false
 }
 
 // Insert adds a tuple given in column order (sorted variable ids);
@@ -134,12 +275,23 @@ func (r *Relation) Insert(t []Value) {
 	if len(t) != len(r.cols) {
 		panic(fmt.Sprintf("relation %s: tuple arity %d, want %d", r.Name, len(t), len(r.cols)))
 	}
-	k := key(t)
-	if _, dup := r.seen[k]; dup {
-		return
+	if cap(r.scratch) < len(t) {
+		r.scratch = make([]uint32, len(t))
 	}
-	r.seen[k] = struct{}{}
-	r.rows = append(r.rows, append([]Value(nil), t...))
+	ids := r.scratch[:len(t)]
+	for i, v := range t {
+		ids[i] = r.in.Intern(v)
+	}
+	r.insertIDs(ids)
+}
+
+// InsertIDs adds a row of already-interned ids (from this relation's intern
+// table) in column order; duplicates are ignored. The slice is copied.
+func (r *Relation) InsertIDs(ids []uint32) {
+	if len(ids) != len(r.cols) {
+		panic(fmt.Sprintf("relation %s: tuple arity %d, want %d", r.Name, len(ids), len(r.cols)))
+	}
+	r.insertIDs(ids)
 }
 
 // InsertMap adds a tuple given as a variable→value assignment covering the
@@ -156,6 +308,18 @@ func (r *Relation) InsertMap(m map[int]Value) {
 	r.Insert(t)
 }
 
+// InsertAll merges every row of s (same schema, same intern table) into r.
+func (r *Relation) InsertAll(s *Relation) {
+	if r.attrs != s.attrs {
+		panic(fmt.Sprintf("InsertAll schema mismatch: %v vs %v", r.attrs, s.attrs))
+	}
+	sameInterner(r, s)
+	buf := make([]uint32, len(r.cols))
+	for i := 0; i < s.nrows; i++ {
+		r.insertIDs(s.rowIDs(i, buf))
+	}
+}
+
 // Stamp records that the relation's current contents correspond to the
 // monotone catalog tick. Ticks must be stamped in increasing order. A
 // re-stamp at an unchanged row count is a no-op: RowsSince for any tick at
@@ -163,10 +327,10 @@ func (r *Relation) InsertMap(m map[int]Value) {
 // older tick keeps Tick() stable across content-preserving mutations
 // (duplicate-only inserts), so statement memoization survives them.
 func (r *Relation) Stamp(tick uint64) {
-	if n := len(r.marks); n > 0 && r.marks[n-1].rows == len(r.rows) {
+	if n := len(r.marks); n > 0 && r.marks[n-1].rows == r.nrows {
 		return
 	}
-	r.marks = append(r.marks, tickMark{tick: tick, rows: len(r.rows)})
+	r.marks = append(r.marks, tickMark{tick: tick, rows: r.nrows})
 }
 
 // Tick returns the latest stamped catalog tick (0 if never stamped).
@@ -179,9 +343,8 @@ func (r *Relation) Tick() uint64 {
 
 // RowsSince returns the tuples inserted strictly after catalog tick `tick`
 // was stamped: everything past the newest mark with mark.tick ≤ tick, or
-// all rows when no such mark exists. The result is a capped subslice of the
-// append-only row log, so it stays valid — and stops growing — even as the
-// relation keeps growing; callers must not mutate the tuples.
+// all rows when no such mark exists. The result is a freshly decoded copy —
+// it stays valid, and stops growing, even as the relation keeps growing.
 func (r *Relation) RowsSince(tick uint64) [][]Value {
 	// Binary search: first mark with mark.tick > tick.
 	i := sort.Search(len(r.marks), func(i int) bool { return r.marks[i].tick > tick })
@@ -189,13 +352,23 @@ func (r *Relation) RowsSince(tick uint64) [][]Value {
 	if i > 0 {
 		from = r.marks[i-1].rows
 	}
-	return r.rows[from:len(r.rows):len(r.rows)]
+	return r.decodeRange(from, r.nrows)
 }
 
 // Contains reports whether the tuple (in column order) is present.
 func (r *Relation) Contains(t []Value) bool {
-	_, ok := r.seen[key(t)]
-	return ok
+	if len(t) != len(r.cols) {
+		return false
+	}
+	ids := make([]uint32, len(t))
+	for i, v := range t {
+		id, ok := r.in.Lookup(v)
+		if !ok {
+			return false // value never interned ⇒ in no relation
+		}
+		ids[i] = id
+	}
+	return r.containsIDs(ids)
 }
 
 // positions returns the tuple positions of the attributes in x (which must
@@ -213,80 +386,58 @@ func (r *Relation) positions(x bitset.Set) []int {
 	return pos
 }
 
-func subtuple(t []Value, pos []int) []Value {
-	s := make([]Value, len(pos))
-	for i, p := range pos {
-		s[i] = t[p]
-	}
-	return s
-}
-
 // Project returns Π_X(r) for X ⊆ schema.
 func (r *Relation) Project(x bitset.Set) *Relation {
 	out := New(fmt.Sprintf("Π%v(%s)", x, r.Name), x)
 	pos := r.positions(x)
-	buf := make([]Value, len(pos))
-	for _, t := range r.rows {
-		for i, p := range pos {
-			buf[i] = t[p]
+	out.ensureSeen()
+	buf := make([]uint32, len(pos))
+	for i := 0; i < r.nrows; i++ {
+		for j, p := range pos {
+			buf[j] = r.data[p][i]
 		}
-		out.Insert(buf)
+		out.insertIDs(buf)
 	}
 	return out
 }
 
-// index groups row indices by their key on the attribute set x. The result
-// is memoized per attribute set and rebuilt only when the row count has
-// changed since it was built; callers must treat it as read-only.
-func (r *Relation) index(x bitset.Set) map[string][]int {
+// index groups row indices by the hash of their id-tuple on the attribute
+// set x (buckets may mix hash-colliding keys; probes verify by id
+// comparison). The result is memoized per attribute set against the
+// mutation tick; callers must treat it as read-only.
+func (r *Relation) index(x bitset.Set) map[uint64][]int32 {
 	r.memo.Lock()
 	defer r.memo.Unlock()
-	if m, ok := r.memo.indexes[x]; ok && m.rows == len(r.rows) {
+	if m, ok := r.memo.indexes[x]; ok && m.mut == r.mut {
 		return m.idx
 	}
 	pos := r.positions(x)
-	idx := make(map[string][]int, len(r.rows))
-	buf := make([]Value, len(pos))
-	for i, t := range r.rows {
-		for j, p := range pos {
-			buf[j] = t[p]
-		}
-		k := key(buf)
-		idx[k] = append(idx[k], i)
+	idx := make(map[uint64][]int32, r.nrows)
+	for i := 0; i < r.nrows; i++ {
+		h := r.hashRowAt(i, pos)
+		idx[h] = append(idx[h], int32(i))
 	}
 	if r.memo.indexes == nil {
 		r.memo.indexes = map[bitset.Set]*memoIndex{}
 	}
-	r.memo.indexes[x] = &memoIndex{rows: len(r.rows), idx: idx}
+	r.memo.indexes[x] = &memoIndex{mut: r.mut, idx: idx}
 	return idx
 }
 
-// keySet returns the distinct keys of Π_x(r) — the build side of a
-// semijoin — memoized per attribute set and invalidated by row count.
-func (r *Relation) keySet(x bitset.Set) map[string]struct{} {
-	r.memo.Lock()
-	defer r.memo.Unlock()
-	if m, ok := r.memo.keys[x]; ok && m.rows == len(r.rows) {
-		return m.keys
-	}
-	pos := r.positions(x)
-	keys := make(map[string]struct{}, len(r.rows))
-	buf := make([]Value, len(pos))
-	for _, t := range r.rows {
-		for j, p := range pos {
-			buf[j] = t[p]
+// matchOn reports whether r's row i and s's row j agree position-wise on
+// rPos/sPos (same attribute order, shared intern table assumed).
+func (r *Relation) matchOn(i int, rPos []int, s *Relation, j int, sPos []int) bool {
+	for t := range rPos {
+		if r.data[rPos[t]][i] != s.data[sPos[t]][j] {
+			return false
 		}
-		keys[key(buf)] = struct{}{}
 	}
-	if r.memo.keys == nil {
-		r.memo.keys = map[bitset.Set]*memoKeys{}
-	}
-	r.memo.keys[x] = &memoKeys{rows: len(r.rows), keys: keys}
-	return keys
+	return true
 }
 
 // Join returns the natural join r ⋈ s.
 func (r *Relation) Join(s *Relation) *Relation {
+	sameInterner(r, s)
 	common := r.attrs.Intersect(s.attrs)
 	out := New(fmt.Sprintf("(%s⋈%s)", r.Name, s.Name), r.attrs.Union(s.attrs))
 	// Build on the smaller side.
@@ -296,6 +447,7 @@ func (r *Relation) Join(s *Relation) *Relation {
 	}
 	idx := build.index(common)
 	probePos := probe.positions(common)
+	buildPos := build.positions(common)
 	// Output tuple layout: union schema, sorted ids; map positions.
 	outCols := out.cols
 	fromProbe := make([]int, len(outCols))
@@ -313,39 +465,46 @@ func (r *Relation) Join(s *Relation) *Relation {
 			}
 		}
 	}
-	buf := make([]Value, len(probePos))
-	outBuf := make([]Value, len(outCols))
-	for _, pt := range probe.rows {
-		for j, p := range probePos {
-			buf[j] = pt[p]
-		}
-		for _, bi := range idx[key(buf)] {
-			bt := build.rows[bi]
-			for i := range outCols {
-				if fromProbe[i] >= 0 {
-					outBuf[i] = pt[fromProbe[i]]
+	out.ensureSeen()
+	outBuf := make([]uint32, len(outCols))
+	for i := 0; i < probe.nrows; i++ {
+		h := probe.hashRowAt(i, probePos)
+		for _, bi := range idx[h] {
+			if !build.matchOn(int(bi), buildPos, probe, i, probePos) {
+				continue
+			}
+			for o := range outCols {
+				if fromProbe[o] >= 0 {
+					outBuf[o] = probe.data[fromProbe[o]][i]
 				} else {
-					outBuf[i] = bt[fromBuild[i]]
+					outBuf[o] = build.data[fromBuild[o]][int(bi)]
 				}
 			}
-			out.Insert(outBuf)
+			out.insertIDs(outBuf)
 		}
 	}
 	return out
 }
 
 // Semijoin returns r ⋉ s: tuples of r matching some tuple of s on the
-// common attributes. The key set over s is memoized (see keySet), so
-// reducing many relations against one shared side — the ModeFull semijoin
-// loop, incremental-maintenance rounds — hashes s once, not once per call.
+// common attributes. The index over s is memoized (see index), so reducing
+// many relations against one shared side — the ModeFull semijoin loop,
+// incremental-maintenance rounds — hashes s once, not once per call.
 func (r *Relation) Semijoin(s *Relation) *Relation {
+	sameInterner(r, s)
 	common := r.attrs.Intersect(s.attrs)
-	sKeys := s.keySet(common)
+	idx := s.index(common)
 	rPos := r.positions(common)
+	sPos := s.positions(common)
 	out := New(fmt.Sprintf("(%s⋉%s)", r.Name, s.Name), r.attrs)
-	for _, t := range r.rows {
-		if _, ok := sKeys[key(subtuple(t, rPos))]; ok {
-			out.Insert(t)
+	buf := make([]uint32, len(r.cols))
+	for i := 0; i < r.nrows; i++ {
+		h := r.hashRowAt(i, rPos)
+		for _, si := range idx[h] {
+			if r.matchOn(i, rPos, s, int(si), sPos) {
+				out.appendUnique(r.rowIDs(i, buf))
+				break
+			}
 		}
 	}
 	return out
@@ -356,12 +515,15 @@ func (r *Relation) Union(s *Relation) *Relation {
 	if r.attrs != s.attrs {
 		panic(fmt.Sprintf("union schema mismatch: %v vs %v", r.attrs, s.attrs))
 	}
+	sameInterner(r, s)
 	out := New(fmt.Sprintf("(%s∪%s)", r.Name, s.Name), r.attrs)
-	for _, t := range r.rows {
-		out.Insert(t)
+	out.ensureSeen()
+	buf := make([]uint32, len(r.cols))
+	for i := 0; i < r.nrows; i++ {
+		out.appendUnique(r.rowIDs(i, buf))
 	}
-	for _, t := range s.rows {
-		out.Insert(t)
+	for i := 0; i < s.nrows; i++ {
+		out.insertIDs(s.rowIDs(i, buf))
 	}
 	return out
 }
@@ -369,11 +531,11 @@ func (r *Relation) Union(s *Relation) *Relation {
 // Partition hash-partitions r into k buckets by the FNV-1a hash of each
 // tuple's projection onto `on` (which must be a subset of the schema).
 // The split is deterministic — a fixed function of the tuple values, never
-// of insertion order or capacity — so two relations partitioned with the
-// same k and the same shared attributes are co-partitioned: rows agreeing
-// on `on` land in the same bucket index. Bucket relations are memoized per
-// (k, on) and invalidated by row count; callers must treat them as
-// read-only.
+// of insertion order, id assignment or capacity — so two relations
+// partitioned with the same k and the same shared attributes are
+// co-partitioned: rows agreeing on `on` land in the same bucket index.
+// Bucket relations are memoized per (k, on) against the mutation tick;
+// callers must treat them as read-only.
 func (r *Relation) Partition(k int, on bitset.Set) []*Relation {
 	if k <= 1 {
 		return []*Relation{r}
@@ -381,7 +543,7 @@ func (r *Relation) Partition(k int, on bitset.Set) []*Relation {
 	mk := partMemoKey{k: k, on: on}
 	r.memo.Lock()
 	defer r.memo.Unlock()
-	if m, ok := r.memo.parts[mk]; ok && m.rows == len(r.rows) {
+	if m, ok := r.memo.parts[mk]; ok && m.mut == r.mut {
 		return m.parts
 	}
 	pos := r.positions(on)
@@ -389,25 +551,75 @@ func (r *Relation) Partition(k int, on bitset.Set) []*Relation {
 	for j := range parts {
 		parts[j] = New(fmt.Sprintf("%s[p%d/%d]", r.Name, j, k), r.attrs)
 	}
-	for _, t := range r.rows {
-		parts[hashBucket(t, pos, k)].Insert(t)
+	buf := make([]uint32, len(r.cols))
+	for i := 0; i < r.nrows; i++ {
+		parts[r.bucketOf(i, pos, k)].appendUnique(r.rowIDs(i, buf))
 	}
 	if r.memo.parts == nil {
 		r.memo.parts = map[partMemoKey]*memoParts{}
 	}
-	r.memo.parts[mk] = &memoParts{rows: len(r.rows), parts: parts}
+	r.memo.parts[mk] = &memoParts{mut: r.mut, parts: parts}
 	return parts
 }
 
-// hashBucket maps a tuple's projection onto pos to a bucket in [0, k).
-func hashBucket(t []Value, pos []int, k int) int {
-	h := fnv.New64a()
-	var b [8]byte
+// bucketOf maps row i's projection onto pos to a bucket in [0, k), hashing
+// the decoded values byte-wise with FNV-1a (little-endian), bit-identical to
+// the pre-columnar layout so partition contents are stable across releases.
+func (r *Relation) bucketOf(i int, pos []int, k int) int {
+	h := uint64(fnvOffset64)
 	for _, p := range pos {
-		binary.LittleEndian.PutUint64(b[:], uint64(t[p]))
-		h.Write(b[:])
+		v := uint64(r.in.ValueOf(r.data[p][i]))
+		for s := uint(0); s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= fnvPrime64
+		}
 	}
-	return int(h.Sum64() % uint64(k))
+	return int(h % uint64(k))
+}
+
+// groupRows partitions the row indices into groups agreeing on pos, in
+// first-appearance order.
+func (r *Relation) groupRows(pos []int) [][]int32 {
+	var out [][]int32
+	m := make(map[uint64][]int32, r.nrows)
+	for i := 0; i < r.nrows; i++ {
+		h := r.hashRowAt(i, pos)
+		gi := -1
+		for _, g := range m[h] {
+			if r.rowsMatchAt(int(out[g][0]), i, pos) {
+				gi = int(g)
+				break
+			}
+		}
+		if gi < 0 {
+			gi = len(out)
+			out = append(out, nil)
+			m[h] = append(m[h], int32(gi))
+		}
+		out[gi] = append(out[gi], int32(i))
+	}
+	return out
+}
+
+// distinctAt counts the distinct projections of the given rows onto pos.
+func (r *Relation) distinctAt(rows []int32, pos []int) int {
+	m := make(map[uint64][]int32, len(rows))
+	n := 0
+	for _, i := range rows {
+		h := r.hashRowAt(int(i), pos)
+		dup := false
+		for _, j := range m[h] {
+			if r.rowsMatchAt(int(j), int(i), pos) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			m[h] = append(m[h], i)
+			n++
+		}
+	}
+	return n
 }
 
 // Degree returns deg_r(Y|X) = max over X-tuples t of |Π_Y(σ_{X=t}(r))|,
@@ -418,20 +630,10 @@ func (r *Relation) Degree(y, x bitset.Set) int {
 	}
 	xPos := r.positions(x)
 	yPos := r.positions(y)
-	groups := map[string]map[string]struct{}{}
-	for _, t := range r.rows {
-		xk := key(subtuple(t, xPos))
-		g, ok := groups[xk]
-		if !ok {
-			g = map[string]struct{}{}
-			groups[xk] = g
-		}
-		g[key(subtuple(t, yPos))] = struct{}{}
-	}
 	best := 0
-	for _, g := range groups {
-		if len(g) > best {
-			best = len(g)
+	for _, g := range r.groupRows(xPos) {
+		if d := r.distinctAt(g, yPos); d > best {
+			best = d
 		}
 	}
 	return best
@@ -445,20 +647,11 @@ func (r *Relation) Degree(y, x bitset.Set) int {
 func (r *Relation) PartitionByDegree(y, x bitset.Set) []*Relation {
 	t := r.Project(y)
 	xPos := t.positions(x)
-	// Group rows of t by X-value.
-	groups := map[string][]int{}
-	var orderKeys []string
-	for i, row := range t.rows {
-		k := key(subtuple(row, xPos))
-		if _, ok := groups[k]; !ok {
-			orderKeys = append(orderKeys, k)
-		}
-		groups[k] = append(groups[k], i)
-	}
+	// Groups of t's rows by X-value, in first-appearance order.
+	groups := t.groupRows(xPos)
 	// log-degree bucket of each group.
-	buckets := map[int][][]int{}
-	for _, k := range orderKeys {
-		g := groups[k]
+	buckets := map[int][][]int32{}
+	for _, g := range groups {
 		// Bucket j holds X-values whose degree lies in [2^j, 2^{j+1}).
 		j := 0
 		for (1 << uint(j+1)) <= len(g) {
@@ -472,6 +665,7 @@ func (r *Relation) PartitionByDegree(y, x bitset.Set) []*Relation {
 		js = append(js, j)
 	}
 	sort.Ints(js)
+	buf := make([]uint32, len(t.cols))
 	for _, j := range js {
 		gs := buckets[j]
 		// Split the groups of this bucket into two halves by X-value count
@@ -488,7 +682,7 @@ func (r *Relation) PartitionByDegree(y, x bitset.Set) []*Relation {
 			sub := New(fmt.Sprintf("%s[deg2^%d.%d]", r.Name, j, part), y)
 			for _, g := range gs[lo:hi] {
 				for _, ri := range g {
-					sub.Insert(t.rows[ri])
+					sub.appendUnique(t.rowIDs(int(ri), buf))
 				}
 			}
 			out = append(out, sub)
@@ -500,25 +694,46 @@ func (r *Relation) PartitionByDegree(y, x bitset.Set) []*Relation {
 // Clone returns a deep copy with a new name.
 func (r *Relation) Clone(name string) *Relation {
 	out := New(name, r.attrs)
-	for _, t := range r.rows {
-		out.Insert(t)
+	buf := make([]uint32, len(r.cols))
+	for i := 0; i < r.nrows; i++ {
+		out.appendUnique(r.rowIDs(i, buf))
 	}
 	return out
 }
 
-// SortedRows returns the tuples sorted lexicographically (for deterministic
-// comparison in tests and reports).
-func (r *Relation) SortedRows() [][]Value {
-	out := make([][]Value, len(r.rows))
-	copy(out, r.rows)
-	sort.Slice(out, func(i, j int) bool {
-		for k := range out[i] {
-			if out[i][k] != out[j][k] {
-				return out[i][k] < out[j][k]
-			}
-		}
-		return false
-	})
+// Snapshot returns a read-mostly copy sharing r's column storage: O(arity)
+// pointer copies instead of O(rows) re-hashing, which is what makes binding
+// a catalog relation into a query instance cheap. Columns are
+// capacity-capped, so a later append to either relation reallocates rather
+// than aliasing; the snapshot rebuilds its dedup table lazily on first
+// mutation or membership probe. Ticks, marks and hints are not carried
+// over.
+func (r *Relation) Snapshot(name string) *Relation {
+	out := &Relation{
+		Name:  name,
+		attrs: r.attrs,
+		cols:  r.cols,
+		in:    r.in,
+		data:  make([][]uint32, len(r.data)),
+		nrows: r.nrows,
+	}
+	for c := range r.data {
+		out.data[c] = r.data[c][:r.nrows:r.nrows]
+	}
+	return out
+}
+
+// SnapshotAs is Snapshot with the columns reinterpreted under a new schema
+// of equal arity: position k of the new schema's sorted variables reads r's
+// column k. This is how query binding renames a stored catalog relation
+// ({0..arity-1}) onto an atom's variable set without touching a row.
+func (r *Relation) SnapshotAs(name string, attrs bitset.Set) *Relation {
+	if attrs.Card() != len(r.cols) {
+		panic(fmt.Sprintf("relation %s: SnapshotAs arity %d, want %d", r.Name, attrs.Card(), len(r.cols)))
+	}
+	out := r.Snapshot(name)
+	out.attrs = attrs
+	out.cols = attrs.Vars()
 	return out
 }
 
@@ -528,8 +743,10 @@ func (r *Relation) Equal(s *Relation) bool {
 	if r.attrs != s.attrs || r.Size() != s.Size() {
 		return false
 	}
-	for _, t := range s.rows {
-		if !r.Contains(t) {
+	sameInterner(r, s)
+	buf := make([]uint32, len(r.cols))
+	for i := 0; i < s.nrows; i++ {
+		if !r.containsIDs(s.rowIDs(i, buf)) {
 			return false
 		}
 	}

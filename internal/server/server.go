@@ -40,6 +40,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"iter"
 	"log"
 	"net/http"
 	"net/http/pprof"
@@ -530,7 +531,7 @@ func (s *Server) writeResult(w http.ResponseWriter, st *panda.Stmt, res *panda.R
 	if res.Rel != nil {
 		cols, _ := json.Marshal(res.Columns)
 		fmt.Fprintf(w, `,"columns":%s,"rows":`, cols)
-		n, cut := streamRows(w, flush, res.Rows(), maxRows)
+		n, cut := streamRows(w, flush, res.Iter(), maxRows)
 		rows += n
 		truncated = truncated || cut
 	}
@@ -580,7 +581,7 @@ func writeTables(w io.Writer, flush *http.ResponseController, st *panda.Stmt, ta
 			io.WriteString(w, ",")
 		}
 		fmt.Fprintf(w, `{"target":%q,"size":%d,"rows":`, "T_"+sch.VarLabel(b), tables[b].Size())
-		n, cut := streamRows(w, flush, tables[b].SortedRows(), maxRows)
+		n, cut := streamRows(w, flush, tables[b].AllSorted(), maxRows)
 		rows += n
 		truncated = truncated || cut
 		io.WriteString(w, "}")
@@ -590,28 +591,58 @@ func writeTables(w io.Writer, flush *http.ResponseController, st *panda.Stmt, ta
 }
 
 // streamRows writes a JSON array of tuples, flushing every few thousand
-// rows so large results reach the client incrementally. max > 0 stops
+// rows so large results reach the client incrementally. Rows arrive as an
+// iterator so the columnar storage decodes straight into the encoder — the
+// hot path never materializes a [][]Value copy of the result. max > 0 stops
 // after max rows; the second return reports whether rows were dropped.
-func streamRows(w io.Writer, flush *http.ResponseController, rows [][]panda.Value, max int) (int, bool) {
+func streamRows(w io.Writer, flush *http.ResponseController, rows iter.Seq[[]panda.Value], max int) (int, bool) {
 	io.WriteString(w, "[")
 	written := 0
-	for i, row := range rows {
+	truncated := false
+	buf := make([]byte, 0, 64)
+	for row := range rows {
 		if max > 0 && written >= max {
-			io.WriteString(w, "]")
-			return written, true
+			truncated = true
+			break
 		}
-		if i > 0 {
-			io.WriteString(w, ",")
+		buf = buf[:0]
+		if written > 0 {
+			buf = append(buf, ',')
 		}
-		b, _ := json.Marshal(row)
-		w.Write(b)
+		buf = appendRow(buf, row)
+		w.Write(buf)
 		written++
-		if flush != nil && i%4096 == 4095 {
+		if flush != nil && written%4096 == 0 {
 			flush.Flush()
 		}
 	}
 	io.WriteString(w, "]")
-	return written, false
+	return written, truncated
+}
+
+// appendRow encodes one tuple as a JSON array of integers — byte-identical
+// to json.Marshal of the same non-nil slice, without the reflection.
+func appendRow(buf []byte, row []panda.Value) []byte {
+	buf = append(buf, '[')
+	for j, v := range row {
+		if j > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, int64(v), 10)
+	}
+	return append(buf, ']')
+}
+
+// rowSeq adapts a materialized row slice (watch deltas, which are built as
+// decoded copies) to the iterator shape streamRows consumes.
+func rowSeq(rows [][]panda.Value) iter.Seq[[]panda.Value] {
+	return func(yield func([]panda.Value) bool) {
+		for _, row := range rows {
+			if !yield(row) {
+				return
+			}
+		}
+	}
 }
 
 // ---- /v1/plan ----

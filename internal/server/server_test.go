@@ -346,8 +346,11 @@ func TestServerRepeatQueryZeroLPSolves(t *testing.T) {
 	if got := metricValue(t, m2, "panda_planner_lp_solves_saved_total"); got <= saved {
 		t.Errorf("cache hits credited no saved solves (%v -> %v)", saved, got)
 	}
-	if hits := metricValue(t, m2, "panda_planner_hits_total"); hits < 2 {
-		t.Errorf("planner hits = %v, want >= 2", hits)
+	// The exact repeat is served from the statement's result memo without
+	// consulting the planner at all; only the renamed query (a distinct
+	// statement) reaches the planner and lands a signature cache hit.
+	if hits := metricValue(t, m2, "panda_planner_hits_total"); hits < 1 {
+		t.Errorf("planner hits = %v, want >= 1", hits)
 	}
 	if hits := metricValue(t, m2, "panda_stmt_cache_hits_total"); hits < 1 {
 		t.Errorf("stmt cache hits = %v, want >= 1", hits)

@@ -127,7 +127,7 @@ func writeWatchSnapshot(w io.Writer, st *panda.Stmt, res *panda.Result, tick uin
 	if res.Rel != nil {
 		cols, _ := json.Marshal(res.Columns)
 		fmt.Fprintf(w, `,"columns":%s,"rows":`, cols)
-		streamRows(w, nil, res.Rows(), 0)
+		streamRows(w, nil, res.Iter(), 0)
 	}
 	if res.Mode == panda.ModeRule {
 		writeTables(w, nil, st, res.Tables, 0)
@@ -147,7 +147,7 @@ func writeWatchDelta(w io.Writer, st *panda.Stmt, d panda.WatchDelta) {
 		// A resync line always spells out rows (possibly empty): the
 		// consumer replaces its state with exactly what is printed.
 		io.WriteString(w, `,"rows":`)
-		streamRows(w, nil, d.Rows, 0)
+		streamRows(w, nil, rowSeq(d.Rows), 0)
 	}
 	io.WriteString(w, "}\n")
 }
@@ -181,13 +181,15 @@ func (s *Server) writeResultNDJSON(w http.ResponseWriter, res *panda.Result, max
 	}
 	io.WriteString(w, "}\n")
 	if res.Rel != nil {
-		for _, row := range res.Rows() {
+		buf := make([]byte, 0, 64)
+		for row := range res.Iter() {
 			if maxRows > 0 && rows >= maxRows {
 				truncated = true
 				break
 			}
-			b, _ := json.Marshal(row)
-			w.Write(append(b, '\n'))
+			buf = appendRow(buf[:0], row)
+			buf = append(buf, '\n')
+			w.Write(buf)
 			rows++
 			if rows%4096 == 0 {
 				flush.Flush()

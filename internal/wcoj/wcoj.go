@@ -5,6 +5,11 @@
 // relation with the fewest candidates. Under cardinality constraints its
 // runtime is Õ(AGM(Q)) — the baseline PANDA is compared against for full
 // conjunctive queries.
+//
+// The join runs entirely on the interned id plane: candidate sets intersect
+// uint32 ids against the relations' column vectors and output rows are
+// emitted as id-tuples, so no value is decoded except to order candidates
+// deterministically.
 package wcoj
 
 import (
@@ -35,27 +40,35 @@ func Join(s *query.Schema, ins *query.Instance, order []int) (*relation.Relation
 		return nil, fmt.Errorf("wcoj: order has %d variables, want %d", len(order), n)
 	}
 	out := relation.New("Q", bitset.Full(n))
-	assignment := make([]relation.Value, n)
+	itn := out.Interner()
+	assignment := make([]uint32, n)
 
-	// Per relation, per prefix-depth we filter tuple lists lazily: we keep,
-	// for each relation, the set of rows consistent with the current
-	// partial assignment (semi-naive but worst-case-optimal per level
-	// because candidates come from intersections).
+	// Per relation, per prefix-depth we filter the surviving row-index list
+	// lazily: we keep, for each relation, the rows consistent with the
+	// current partial assignment (semi-naive but worst-case-optimal per
+	// level because candidates come from intersections).
 	type relState struct {
 		rel  *relation.Relation
-		rows [][]relation.Value
+		cols [][]uint32 // column id vectors
+		rows []int32    // surviving row indices
 	}
 	states := make([]*relState, len(ins.Relations))
 	for i, r := range ins.Relations {
-		states[i] = &relState{rel: r, rows: r.Rows()}
+		st := &relState{rel: r, cols: make([][]uint32, len(r.Cols()))}
+		for c := range st.cols {
+			st.cols[c] = r.Column(c)
+		}
+		st.rows = make([]int32, r.Size())
+		for j := range st.rows {
+			st.rows[j] = int32(j)
+		}
+		states[i] = st
 	}
 
 	var rec func(depth int, states []*relState) error
 	rec = func(depth int, states []*relState) error {
 		if depth == n {
-			t := make([]relation.Value, n)
-			copy(t, assignment)
-			out.Insert(t)
+			out.InsertIDs(assignment)
 			return nil
 		}
 		v := order[depth]
@@ -69,48 +82,51 @@ func Join(s *query.Schema, ins *query.Instance, order []int) (*relation.Relation
 		if len(covering) == 0 {
 			return fmt.Errorf("wcoj: variable %d not covered by any atom", v)
 		}
-		// Candidate values: intersect over covering relations, seeded from
-		// the smallest.
+		// Candidate ids: intersect over covering relations, seeded from the
+		// smallest.
 		sort.Slice(covering, func(i, j int) bool { return len(covering[i].rows) < len(covering[j].rows) })
-		pos0 := colPos(covering[0].rel, v)
-		cand := map[relation.Value]bool{}
-		for _, row := range covering[0].rows {
-			cand[row[pos0]] = true
+		col0 := covering[0].cols[colPos(covering[0].rel, v)]
+		cand := map[uint32]bool{}
+		for _, ri := range covering[0].rows {
+			cand[col0[ri]] = true
 		}
 		for _, st := range covering[1:] {
-			p := colPos(st.rel, v)
-			seen := map[relation.Value]bool{}
-			for _, row := range st.rows {
-				seen[row[p]] = true
+			col := st.cols[colPos(st.rel, v)]
+			seen := map[uint32]bool{}
+			for _, ri := range st.rows {
+				seen[col[ri]] = true
 			}
-			for val := range cand {
-				if !seen[val] {
-					delete(cand, val)
+			for id := range cand {
+				if !seen[id] {
+					delete(cand, id)
 				}
 			}
 		}
-		vals := make([]relation.Value, 0, len(cand))
-		for val := range cand {
-			vals = append(vals, val)
+		ids := make([]uint32, 0, len(cand))
+		for id := range cand {
+			ids = append(ids, id)
 		}
-		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
-		for _, val := range vals {
-			assignment[v] = val
-			// Filter each covering relation's rows to those matching val.
+		// Order candidates by decoded value so the output row order — and
+		// with it every downstream trace — is a function of the data, not of
+		// id-assignment history.
+		sort.Slice(ids, func(i, j int) bool { return itn.ValueOf(ids[i]) < itn.ValueOf(ids[j]) })
+		for _, id := range ids {
+			assignment[v] = id
+			// Filter each covering relation's rows to those matching id.
 			next := make([]*relState, len(states))
 			for i, st := range states {
 				if !st.rel.Attrs().Contains(v) {
 					next[i] = st
 					continue
 				}
-				p := colPos(st.rel, v)
-				var rows [][]relation.Value
-				for _, row := range st.rows {
-					if row[p] == val {
-						rows = append(rows, row)
+				col := st.cols[colPos(st.rel, v)]
+				var rows []int32
+				for _, ri := range st.rows {
+					if col[ri] == id {
+						rows = append(rows, ri)
 					}
 				}
-				next[i] = &relState{rel: st.rel, rows: rows}
+				next[i] = &relState{rel: st.rel, cols: st.cols, rows: rows}
 			}
 			if err := rec(depth+1, next); err != nil {
 				return err
@@ -239,9 +255,7 @@ func ParallelJoin(ctx context.Context, s *query.Schema, ins *query.Instance, ord
 	}
 	out := relation.New("Q", bitset.Full(s.NumVars))
 	for _, part := range outs {
-		for _, row := range part.Rows() {
-			out.Insert(row)
-		}
+		out.InsertAll(part)
 	}
 	return out, nil
 }

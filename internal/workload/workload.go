@@ -200,7 +200,7 @@ func MinModelLowerBound(p *query.Disjunctive, ins *query.Instance) int {
 				pos = append(pos, i)
 			}
 		}
-		for _, row := range join.Rows() {
+		for row := range join.All() {
 			k := ""
 			for _, pi := range pos {
 				k += string(rune(row[pi])) + "|"

@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"iter"
 	"math/big"
 
 	"panda/internal/core"
@@ -39,7 +40,9 @@ type Result struct {
 	Mode PlanMode
 	// Tables holds the per-target model tables of the underlying PANDA
 	// rule: every target for disjunctive rules, the raw (pre-semijoin)
-	// full table for ModeFull, nil otherwise.
+	// full table for ModeFull, nil otherwise. Reading a table through
+	// Rows/SortedRows materializes a decoded copy per call; iterate with
+	// Relation.All / AllSorted to stream instead.
 	Tables map[Set]*Relation
 	// Bound is the polymatroid bound of the executed rule in log₂ units
 	// (ModeFull and rules), nil otherwise.
@@ -78,12 +81,26 @@ func SignatureDigest(key string) string {
 }
 
 // Rows returns the output tuples in deterministic sorted order; nil when
-// the result has no output relation.
+// the result has no output relation. Each call decodes and materializes a
+// fresh copy of the whole row set (as does Tables via Relation.Rows) —
+// streaming consumers should prefer Iter.
 func (r *Result) Rows() [][]Value {
 	if r.Rel == nil {
 		return nil
 	}
 	return r.Rel.SortedRows()
+}
+
+// Iter iterates the output tuples in the same deterministic sorted order as
+// Rows without materializing them: rows decode out of the columnar storage
+// into one reused buffer, so the yielded slice is valid only for the body
+// of the loop — copy it if it must be retained. The sequence is empty when
+// the result has no output relation.
+func (r *Result) Iter() iter.Seq[[]Value] {
+	if r.Rel == nil {
+		return func(func([]Value) bool) {}
+	}
+	return r.Rel.AllSorted()
 }
 
 // Size returns |Rel|, or 0 when the result has no output relation.

@@ -19,9 +19,16 @@ import (
 // planning work.
 //
 // A Stmt is safe for concurrent Query calls. It memoizes the bound (and
-// constraint-checked) instance against the catalog's mutation counter, so
+// constraint-checked) instance against the catalog's per-relation ticks, so
 // repeated queries over an unchanged catalog skip the snapshot copy as
-// well as the planning work.
+// well as the planning work — and, because execution over an identical
+// read-only snapshot is deterministic, it memoizes the Result itself under
+// the same key: steady-state traffic on an unchanged catalog streams a
+// cached result without re-running the engine. Any mutation to a referenced
+// relation moves its tick and invalidates both memos. A memoized Result is
+// returned as-is, including Timings: a memo hit reports the stage timings
+// of the execution that produced the result (timings are already excluded
+// from the determinism guarantee, and a hit runs no stages of its own).
 type Stmt struct {
 	db  *DB
 	src string
@@ -31,6 +38,10 @@ type Stmt struct {
 	mu       sync.Mutex
 	boundIns *Instance
 	boundVer uint64
+	memoRes  *Result
+	memoVer  uint64
+	memoCfg  config
+	memoOK   bool
 }
 
 // Prepare parses src (the textual query language of internal/query) and
@@ -87,14 +98,34 @@ func (st *Stmt) QueryContext(ctx context.Context, opts ...Option) (*Result, erro
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ins, err := st.bind()
+	ins, ver, err := st.bind()
 	if err != nil {
 		return nil, err
 	}
-	if st.res.Conj != nil {
-		return st.db.evalConjunctive(ctx, st.res.Conj, ins, st.res.Constraints, cfg)
+	st.mu.Lock()
+	if st.memoOK && st.memoVer == ver && st.memoCfg == cfg {
+		res := st.memoRes
+		st.mu.Unlock()
+		return res, nil
 	}
-	return st.db.evalRule(ctx, st.res.Rule, ins, st.res.Constraints, cfg)
+	st.mu.Unlock()
+	var res *Result
+	if st.res.Conj != nil {
+		res, err = st.db.evalConjunctive(ctx, st.res.Conj, ins, st.res.Constraints, cfg)
+	} else {
+		res, err = st.db.evalRule(ctx, st.res.Rule, ins, st.res.Constraints, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	st.mu.Lock()
+	// Guard against a concurrent re-bind having moved the statement to a
+	// newer snapshot: only memoize the result of the tick we bound.
+	if st.boundVer == ver {
+		st.memoRes, st.memoVer, st.memoCfg, st.memoOK = res, ver, cfg, true
+	}
+	st.mu.Unlock()
+	return res, nil
 }
 
 // Query is QueryContext under context.Background().
@@ -107,27 +138,28 @@ func (st *Stmt) Query(opts ...Option) (*Result, error) {
 // relation the statement references is unchanged — mutations to unrelated
 // relations no longer invalidate it (per-relation tick granularity). Bound
 // instances are read-only during execution, so one snapshot may serve
-// concurrent Query calls.
-func (st *Stmt) bind() (*Instance, error) {
+// concurrent Query calls. The second return is the schema tick the
+// snapshot reflects — the key the result memo pairs with.
+func (st *Stmt) bind() (*Instance, uint64, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	ver, err := st.db.schemaTick(&st.res.Rule.Schema)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if st.boundIns != nil && st.boundVer == ver {
-		return st.boundIns, nil
+		return st.boundIns, ver, nil
 	}
 	s := &st.res.Rule.Schema
 	ins, ver, err := st.db.bindInstance(s)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := ins.Check(s, st.res.Constraints); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	st.boundIns, st.boundVer = ins, ver
-	return ins, nil
+	return ins, ver, nil
 }
 
 // rejectExplicitMode fails with ErrNotConjunctive when the per-call
@@ -185,7 +217,7 @@ func (st *Stmt) ExplainContext(ctx context.Context, opts ...Option) (*PlanInfo, 
 	for _, o := range opts {
 		o(&cfg)
 	}
-	ins, err := st.bind()
+	ins, _, err := st.bind()
 	if err != nil {
 		return nil, err
 	}

@@ -245,12 +245,9 @@ func (db *DB) watchBind(s *query.Schema) (*query.Instance, uint64, map[string]*r
 	if db.closed {
 		return nil, 0, nil, ErrClosed
 	}
-	ins, err := query.BindInstance(s, func(name string) ([][]Value, int, bool) {
+	ins, err := query.BindInstance(s, func(name string) (*relation.Relation, bool) {
 		t, ok := db.catalog[name]
-		if !ok {
-			return nil, 0, false
-		}
-		return t.Rows(), t.Attrs().Card(), true
+		return t, ok
 	})
 	if err != nil {
 		return nil, 0, nil, err
@@ -368,8 +365,8 @@ func (w *Watch) fail(err error) {
 
 // watchNameSnap is one referenced relation's state captured under the
 // catalog read lock: the live pointer, and the rows stamped after the
-// maintainer's last seen tick (a capped subslice of the append-only log —
-// safe to read outside the lock).
+// maintainer's last seen tick (decoded under the lock into a fresh copy —
+// safe to read outside it).
 type watchNameSnap struct {
 	ptr   *relation.Relation
 	rows  [][]Value
@@ -493,7 +490,7 @@ func (w *Watch) fullRound(structural bool) bool {
 	// Insert-only fallback rounds only ever add rows; anything vanishing
 	// means the catalog changed shape underneath us — resync.
 	if !structural && prev != nil && out != nil {
-		for _, row := range prev.Rows() {
+		for row := range prev.All() {
 			if !out.Contains(row) {
 				structural = true
 				break
@@ -551,7 +548,7 @@ func (w *Watch) incrRound(snap watchSnap) bool {
 		}
 	}
 
-	deltaIns, err := query.BindInstance(s, func(name string) ([][]Value, int, bool) {
+	deltaIns, err := query.BindInstanceRows(s, func(name string) ([][]Value, int, bool) {
 		nd, ok := snap.names[name]
 		if !ok {
 			return nil, 0, false
@@ -565,9 +562,7 @@ func (w *Watch) incrRound(snap watchSnap) bool {
 	// Extend the maintained full instance first: semi-naive needs full
 	// NEW extensions at the non-delta atoms.
 	for i, d := range deltaIns.Relations {
-		for _, row := range d.Rows() {
-			w.ins.Relations[i].Insert(row)
-		}
+		w.ins.Relations[i].InsertAll(d)
 	}
 	round, err := incr.Maintain(w.ctx, w.exec, w.p, s, w.ins, deltaIns.Relations)
 	if err != nil {
@@ -581,7 +576,7 @@ func (w *Watch) incrRound(snap watchSnap) bool {
 		if w.mat == nil {
 			w.mat = relation.New("watch", round.Delta.Attrs())
 		}
-		for _, row := range round.Delta.Rows() {
+		for row := range round.Delta.All() {
 			if !w.mat.Contains(row) {
 				w.mat.Insert(row)
 				if fresh == nil {

@@ -256,7 +256,7 @@ func TestWatchPerRelationInvalidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ins1, err := st.bind()
+	ins1, _, err := st.bind()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestWatchPerRelationInvalidation(t *testing.T) {
 	if err := db.Insert("A", []Value{9, 9}); err != nil {
 		t.Fatal(err)
 	}
-	ins2, err := st.bind()
+	ins2, _, err := st.bind()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -275,7 +275,7 @@ func TestWatchPerRelationInvalidation(t *testing.T) {
 	if err := db.Insert("B", []Value{3, 4}); err != nil {
 		t.Fatal(err)
 	}
-	ins3, err := st.bind()
+	ins3, _, err := st.bind()
 	if err != nil {
 		t.Fatal(err)
 	}
